@@ -1,0 +1,96 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper figure — these quantify how much each Qplacer mechanism
+(frequency force, resonant-aware legalization, integration repair,
+chain-aware Tetris) contributes to the headline metrics, plus the two
+reproduction extensions (SABRE router, detailed placement) and the
+fabrication-disorder robustness study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FULL, emit
+from repro.analysis import format_table
+from repro.analysis.ablation import (
+    ablation_experiment,
+    detailed_placement_gain,
+    disorder_robustness,
+    router_comparison,
+)
+from repro.core import PlacerConfig
+
+ABLATION_TOPOLOGY = "falcon-27" if not FULL else "eagle-127"
+
+
+def test_mechanism_ablation(benchmark, results_dir) -> None:
+    rows = benchmark.pedantic(
+        lambda: ablation_experiment(ABLATION_TOPOLOGY),
+        rounds=1, iterations=1)
+    body = [[r.variant, f"{r.ph_percent:.3f}", r.impacted_qubits,
+             f"{r.amer_mm2:.1f}", f"{r.integrity:.2f}", f"{r.runtime_s:.1f}"]
+            for r in rows]
+    emit(results_dir, "ablation_mechanisms",
+         format_table(["variant", "Ph (%)", "impacted", "Amer", "integrity",
+                       "RT (s)"],
+                      body, title=f"Mechanism ablation — {ABLATION_TOPOLOGY}"))
+    by_variant = {r.variant: r for r in rows}
+    assert by_variant["full"].ph_percent <= \
+        by_variant["no-freq-legalizer"].ph_percent
+    assert by_variant["full"].integrity == 1.0
+
+
+def test_disorder_robustness(benchmark, results_dir) -> None:
+    rows = benchmark.pedantic(
+        lambda: disorder_robustness(ABLATION_TOPOLOGY,
+                                    sigmas_ghz=(0.0, 0.01, 0.02, 0.04),
+                                    trials=5),
+        rounds=1, iterations=1)
+    body = [[r.strategy, f"{r.sigma_ghz * 1e3:.0f}",
+             f"{r.mean_ph_percent:.2f}", f"{r.worst_ph_percent:.2f}",
+             f"{r.mean_impacted:.1f}"]
+            for r in rows]
+    emit(results_dir, "ablation_disorder",
+         format_table(["strategy", "sigma (MHz)", "mean Ph (%)",
+                       "worst Ph (%)", "impacted"],
+                      body,
+                      title=f"Fabrication-disorder robustness — "
+                            f"{ABLATION_TOPOLOGY}"))
+    # Designed (sigma = 0) Qplacer layouts are hotspot-free.
+    clean = [r for r in rows if r.strategy == "qplacer" and r.sigma_ghz == 0]
+    assert clean[0].mean_ph_percent == pytest.approx(0.0, abs=0.3)
+
+
+def test_router_ablation(benchmark, results_dir) -> None:
+    rows = benchmark.pedantic(
+        lambda: router_comparison(ABLATION_TOPOLOGY,
+                                  benchmarks=("bv-16", "qaoa-9"),
+                                  num_mappings=8),
+        rounds=1, iterations=1)
+    body = [[r.benchmark, r.router, r.total_swaps,
+             f"{r.mean_duration_ns:.0f}"]
+            for r in rows]
+    emit(results_dir, "ablation_router",
+         format_table(["benchmark", "router", "total swaps",
+                       "mean duration (ns)"],
+                      body, title=f"Router ablation — {ABLATION_TOPOLOGY}"))
+    by_key = {(r.benchmark, r.router): r for r in rows}
+    for bench in ("bv-16", "qaoa-9"):
+        assert by_key[(bench, "sabre")].total_swaps <= \
+            by_key[(bench, "basic")].total_swaps
+
+
+def test_detailed_placement_gain(benchmark, results_dir) -> None:
+    before, after, swaps = benchmark.pedantic(
+        lambda: detailed_placement_gain(ABLATION_TOPOLOGY, max_passes=3),
+        rounds=1, iterations=1)
+    gain = 100.0 * (1.0 - after / before)
+    emit(results_dir, "ablation_detailed",
+         format_table(["quantity", "value"],
+                      [["HPWL before (mm)", f"{before:.1f}"],
+                       ["HPWL after (mm)", f"{after:.1f}"],
+                       ["gain (%)", f"{gain:.1f}"],
+                       ["swaps applied", swaps]],
+                      title=f"Detailed placement — {ABLATION_TOPOLOGY}"))
+    assert after <= before + 1e-9

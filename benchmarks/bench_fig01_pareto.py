@@ -1,0 +1,41 @@
+"""Fig. 1 — system infidelity versus required layout area.
+
+Regenerates the motivating scatter: Human designs achieve low infidelity
+at a large area, Classic placers small area at high infidelity, and
+Qplacer sits at the Pareto knee (low infidelity *and* compact area).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_TOPOLOGIES, NUM_MAPPINGS, emit, get_suite
+from repro.analysis import pareto_points, pareto_table
+
+
+def test_fig01_pareto(benchmark, results_dir) -> None:
+    def run():
+        points = []
+        for name in BENCH_TOPOLOGIES:
+            points.extend(pareto_points(get_suite(name),
+                                        num_mappings=min(NUM_MAPPINGS, 10)))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "fig01_pareto", pareto_table(points))
+
+    by_strategy = {}
+    for p in points:
+        by_strategy.setdefault(p.strategy, []).append(p)
+
+    mean_area = {s: np.mean([p.amer_mm2 for p in ps])
+                 for s, ps in by_strategy.items()}
+    mean_infid = {s: np.mean([p.infidelity for p in ps])
+                  for s, ps in by_strategy.items()}
+
+    # The Fig. 1 geometry: Qplacer is much smaller than Human at similar
+    # infidelity, and much lower infidelity than Classic at similar area.
+    assert mean_area["qplacer"] < 0.8 * mean_area["human"]
+    assert mean_infid["qplacer"] < mean_infid["classic"]
+    assert mean_infid["qplacer"] < 1.25 * mean_infid["human"] + 0.05

@@ -1,0 +1,33 @@
+"""Fig. 4 — qubit-qubit coupling strength versus detuning.
+
+Regenerates the resonance curve: peak coupling ``g`` when the two
+transmons are resonant (w1 = w2), falling off as ``g^2/Delta`` with
+increasing detuning, with g/2pi in the paper's 20-30 MHz band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import coupling_vs_detuning, format_table
+
+
+def test_fig04_coupling_vs_detuning(benchmark, results_dir) -> None:
+    curve = benchmark(coupling_vs_detuning)
+    freq2 = curve["freq2_ghz"]
+    geff = curve["effective_coupling_ghz"]
+
+    peak_idx = int(np.argmax(geff))
+    assert abs(freq2[peak_idx] - 5.0) < 0.02, "peak must sit at resonance"
+    peak_mhz = 1e3 * geff[peak_idx]
+    assert 15.0 <= peak_mhz <= 35.0, "peak g/2pi should be 20-30 MHz (Fig. 4)"
+    # Wings decay as g^2/Delta.
+    wing = 1e3 * geff[-1]
+    assert wing < peak_mhz / 5.0
+
+    rows = [[f"{freq2[k]:.2f}", f"{1e3 * geff[k]:.3f}"]
+            for k in range(0, len(freq2), 8)]
+    emit(results_dir, "fig04_coupling_vs_detuning",
+         format_table(["w2 (GHz)", "effective coupling (MHz)"], rows,
+                      title="Fig.4 — coupling vs detuning (w1 = 5 GHz)"))

@@ -1,0 +1,49 @@
+"""Fig. 5-b — parasitic capacitance and coupling versus qubit distance.
+
+Regenerates the distance decay: Cp, g, and g_eff all rise steeply as the
+separation shrinks (motivating the padding strategy), plus the
+Sec. III-C TM110 substrate rows (12.41 GHz @ 5x5 mm -> 6.20 GHz @ 10x10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import coupling_vs_distance, format_table
+from repro.physics import tm110_frequency_ghz
+
+
+def test_fig05_coupling_vs_distance(benchmark, results_dir) -> None:
+    curve = benchmark(coupling_vs_distance)
+    d = curve["distance_mm"]
+    cp = curve["cp_ff"]
+    g = curve["g_ghz"]
+    g_eff = curve["g_eff_ghz"]
+
+    # All three quantities must decrease monotonically with distance.
+    assert np.all(np.diff(cp) < 0)
+    assert np.all(np.diff(g) < 0)
+    assert np.all(np.diff(g_eff) < 0)
+    # Near contact the coupling reaches the tens-of-MHz regime.
+    assert 1e3 * g[0] > 10.0
+    # At the paper's padded qubit spacing the residual is negligible.
+    at_padding = float(np.interp(0.8, d, g))
+    assert 1e3 * at_padding < 0.01
+
+    rows = [[f"{d[k]:.2f}", f"{cp[k]:.4f}", f"{1e3 * g[k]:.3f}",
+             f"{1e6 * g_eff[k]:.3f}"]
+            for k in range(0, len(d), 9)]
+    table = format_table(["d (mm)", "Cp (fF)", "g (MHz)", "g_eff (kHz)"], rows,
+                         title="Fig.5-b — coupling vs qubit distance")
+
+    tm_rows = [[f"{side:.0f}x{side:.0f}",
+                f"{tm110_frequency_ghz(side, side):.2f}"]
+               for side in (5.0, 7.5, 10.0)]
+    table += "\n\n" + format_table(
+        ["substrate (mm)", "TM110 (GHz)"], tm_rows,
+        title="Sec.III-C — substrate box mode (paper: 12.41 -> 6.20 GHz)")
+    emit(results_dir, "fig05_coupling_vs_distance", table)
+
+    assert abs(tm110_frequency_ghz(5, 5) - 12.41) < 0.1
+    assert abs(tm110_frequency_ghz(10, 10) - 6.20) < 0.05

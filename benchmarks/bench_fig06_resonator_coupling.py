@@ -1,0 +1,40 @@
+"""Fig. 6 — resonator-resonator coupling versus frequency and distance.
+
+Regenerates both panels: (b) maximum coupling at resonator resonance
+(wr1 = wr2) decaying into the dispersive wings, and (c) coupling /
+parasitic capacitance rising as the trace separation shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import format_table, resonator_coupling_curves
+
+
+def test_fig06_resonator_coupling(benchmark, results_dir) -> None:
+    curves = benchmark(resonator_coupling_curves)
+
+    # Panel (c): monotone decay with distance.
+    assert np.all(np.diff(curves["cp_ff"]) < 0)
+    assert np.all(np.diff(curves["g_vs_distance_ghz"]) < 0)
+
+    # Panel (b): peak at resonance.
+    freq2 = curves["freq2_ghz"]
+    g_freq = curves["g_vs_detuning_ghz"]
+    peak = int(np.argmax(g_freq))
+    assert abs(freq2[peak] - 6.5) < 0.02
+
+    rows_c = [[f"{curves['distance_mm'][k]:.2f}",
+               f"{curves['cp_ff'][k]:.4f}",
+               f"{1e3 * curves['g_vs_distance_ghz'][k]:.3f}"]
+              for k in range(0, len(curves["distance_mm"]), 9)]
+    rows_b = [[f"{freq2[k]:.2f}", f"{1e3 * g_freq[k]:.3f}"]
+              for k in range(0, len(freq2), 9)]
+    table = format_table(["d (mm)", "Cp (fF)", "g (MHz)"], rows_c,
+                         title="Fig.6-c — resonator coupling vs distance")
+    table += "\n\n" + format_table(
+        ["wr2 (GHz)", "g (MHz)"], rows_b,
+        title="Fig.6-b — resonator coupling vs frequency (wr1 = 6.5 GHz)")
+    emit(results_dir, "fig06_resonator_coupling", table)

@@ -1,0 +1,41 @@
+"""Fig. 11 — program fidelity per benchmark, topology, and placer.
+
+Regenerates the paper's headline comparison: Qplacer consistently
+outperforms the Classic baseline, with the gap widening on larger chips
+and deeper benchmarks (paper: 36.7x average improvement, many Classic
+entries below the 1e-4 floor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_CIRCUITS, BENCH_TOPOLOGIES, NUM_MAPPINGS, emit, get_suite
+from repro.analysis import FIDELITY_FLOOR, fidelity_experiment, fidelity_table
+
+
+@pytest.mark.parametrize("topology_name", BENCH_TOPOLOGIES)
+def test_fig11_fidelity(topology_name, benchmark, results_dir) -> None:
+    suite = get_suite(topology_name)
+
+    table = benchmark.pedantic(
+        fidelity_experiment,
+        args=(suite,),
+        kwargs={"benchmarks": BENCH_CIRCUITS, "num_mappings": NUM_MAPPINGS},
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, f"fig11_fidelity_{topology_name}",
+         fidelity_table(table, topology_name))
+
+    q = [row["qplacer"] for row in table.values()]
+    c = [row["classic"] for row in table.values()]
+    # Headline shape: Qplacer beats Classic on average, and never loses
+    # by more than noise on any single benchmark.
+    assert np.mean(q) > np.mean(c)
+    for bench, row in table.items():
+        assert row["qplacer"] >= row["classic"] * 0.9, (
+            f"{bench}: qplacer {row['qplacer']} vs classic {row['classic']}")
+    # Qplacer stays within a whisker of the crosstalk-free Human design.
+    h = [row["human"] for row in table.values()]
+    assert np.mean(q) >= 0.7 * np.mean(h)

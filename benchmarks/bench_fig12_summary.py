@@ -1,0 +1,47 @@
+"""Fig. 12 — average fidelity, impacted qubits, and hotspot proportion.
+
+Regenerates the three-panel summary: Qplacer reduces the frequency
+hotspot proportion by an order of magnitude versus Classic (paper:
+0.46% vs 5.87%, a 12.76x reduction) and with it the number of impacted
+qubits, which tracks fidelity inversely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_CIRCUITS, BENCH_TOPOLOGIES, NUM_MAPPINGS, emit, get_suite
+from repro.analysis import summary_experiment, summary_table
+
+
+def test_fig12_summary(benchmark, results_dir) -> None:
+    def run():
+        rows = []
+        for name in BENCH_TOPOLOGIES:
+            rows.extend(summary_experiment(
+                get_suite(name), benchmarks=BENCH_CIRCUITS,
+                num_mappings=NUM_MAPPINGS))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "fig12_summary", summary_table(rows))
+
+    by_strategy = {}
+    for r in rows:
+        by_strategy.setdefault(r.strategy, []).append(r)
+
+    ph_qplacer = np.mean([r.ph_percent for r in by_strategy["qplacer"]])
+    ph_classic = np.mean([r.ph_percent for r in by_strategy["classic"]])
+    # Paper: 12.76x average reduction in hotspot proportion.
+    assert ph_qplacer < ph_classic / 5.0, (ph_qplacer, ph_classic)
+
+    impacted_q = np.mean([r.impacted_qubits for r in by_strategy["qplacer"]])
+    impacted_c = np.mean([r.impacted_qubits for r in by_strategy["classic"]])
+    assert impacted_q < impacted_c
+
+    fid_q = np.mean([r.avg_fidelity for r in by_strategy["qplacer"]])
+    fid_c = np.mean([r.avg_fidelity for r in by_strategy["classic"]])
+    assert fid_q > fid_c
+    # Human is crosstalk-free by construction: Ph == 0.
+    assert all(r.ph_percent == 0.0 for r in by_strategy["human"])

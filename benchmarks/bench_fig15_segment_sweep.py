@@ -1,0 +1,46 @@
+"""Fig. 15 — substrate utilisation and Ph for lb in {0.2, 0.3, 0.4} mm.
+
+Regenerates the segment-size ablation: smaller blocks pack slightly
+differently but multiply the instance count; the paper selects
+lb = 0.3 mm as the best utilisation/hotspot/runtime balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_TOPOLOGIES, FULL, emit
+from repro.analysis import segment_sweep, sweep_table
+
+#: The sweep re-places every topology 3x; keep the default set small.
+SWEEP_TOPOLOGIES = BENCH_TOPOLOGIES if FULL else ("grid-25", "falcon-27")
+
+
+def test_fig15_segment_sweep(benchmark, results_dir) -> None:
+    def run():
+        rows = []
+        for name in SWEEP_TOPOLOGIES:
+            rows.extend(segment_sweep(name))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "fig15_segment_sweep", sweep_table(rows))
+
+    by_lb = {}
+    for r in rows:
+        by_lb.setdefault(r.segment_size_mm, []).append(r)
+
+    # Instance counts scale as 1/lb^2 (paper: 2.1x and 3.5x vs lb=0.3).
+    cells = {lb: np.mean([r.num_cells for r in group])
+             for lb, group in by_lb.items()}
+    assert cells[0.2] > 1.6 * cells[0.3] > 1.3 * cells[0.4]
+
+    # Runtime grows with the instance count (Table II trend).
+    rt = {lb: np.mean([r.runtime_s for r in group])
+          for lb, group in by_lb.items()}
+    assert rt[0.2] > rt[0.4]
+
+    # Utilisation stays in a tight band across lb (paper: 0.63-0.84).
+    utils = [r.utilization for r in rows]
+    assert max(utils) - min(utils) < 0.35

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Placing a custom (user-defined) device topology end to end.
+
+Builds a 4x4-grid-with-diagonals topology that is *not* in the paper's
+Table I, runs frequency assignment, Qplacer placement, and a full
+fidelity evaluation of a custom circuit — demonstrating that every
+stage of the library works on arbitrary connectivity graphs.
+
+Usage::
+
+    python examples/custom_topology.py
+"""
+
+import networkx as nx
+
+from repro import QPlacer, build_netlist
+from repro.circuits import QuantumCircuit, evaluation_mappings
+from repro.crosstalk import average_program_fidelity, hotspot_report
+from repro.devices.topology import Topology
+
+
+def make_custom_topology() -> Topology:
+    """A 4x4 grid with one diagonal brace per cell (degree up to 6)."""
+    size = 4
+    graph = nx.Graph()
+    coords = {}
+    for r in range(size):
+        for c in range(size):
+            node = r * size + c
+            coords[node] = (float(c), float(r))
+            graph.add_node(node)
+            if c + 1 < size:
+                graph.add_edge(node, node + 1)
+            if r + 1 < size:
+                graph.add_edge(node, node + size)
+            if c + 1 < size and r + 1 < size:
+                graph.add_edge(node, node + size + 1)
+    return Topology(name="braced-grid-16",
+                    description="4x4 grid with diagonal braces",
+                    graph=graph, coords=coords)
+
+
+def make_ghz_circuit(width: int) -> QuantumCircuit:
+    """A GHZ-state preparation circuit (H + CX ladder)."""
+    qc = QuantumCircuit(width, name=f"ghz-{width}")
+    qc.h(0)
+    for q in range(width - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def main() -> None:
+    topology = make_custom_topology()
+    print(f"Custom topology: {topology.num_qubits} qubits, "
+          f"{topology.num_couplers} couplers, max degree {topology.max_degree}")
+
+    netlist = build_netlist(topology)
+    plan = netlist.plan
+    print(f"Frequency assignment conflict-free: {plan.is_conflict_free}")
+    if not plan.is_conflict_free:
+        print(f"  unresolved qubit pairs: {plan.unresolved_qubit_pairs}")
+        print(f"  unresolved resonator pairs: "
+              f"{len(plan.unresolved_resonator_pairs)}")
+
+    result = QPlacer().place(netlist)
+    report = hotspot_report(result.layout)
+    print(f"Placed {result.num_cells} cells in {result.runtime_s:.1f}s; "
+          f"Amer {result.layout.amer():.1f} mm^2, Ph {report.ph_percent:.2f}%")
+
+    circuit = make_ghz_circuit(6)
+    mappings = evaluation_mappings(circuit, topology, num_mappings=10)
+    fidelity = average_program_fidelity(result.layout, mappings)
+    print(f"GHZ-6 average program fidelity over 10 mappings: {fidelity:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fig. 14 pipeline: optimise the Falcon layout and export it.
+
+Places the IBM Falcon (27-qubit heavy-hex) device with Qplacer, then
+exports the prototype layout exactly like the paper's Fig. 14:
+
+* ``falcon_layout.svg``  — the colour-coded layout drawing (Fig. 14-b);
+* ``falcon_layout.gds``  — a GDSII stream of the component footprints
+  (Fig. 14-c, readable in KLayout);
+* ``falcon_layout.json`` — a reloadable serialisation of the placement.
+
+Usage::
+
+    python examples/falcon_layout.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import QPlacer, build_netlist, get_topology
+from repro.crosstalk import hotspot_report
+from repro.io import save_gds, save_layout, save_svg
+from repro.physics import tm110_frequency_ghz
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("examples/output")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    netlist = build_netlist(get_topology("falcon-27"))
+    result = QPlacer().place(netlist)
+    layout = result.layout
+
+    mer = layout.enclosing_rect()
+    tm110 = tm110_frequency_ghz(mer.w, mer.h)
+    fmax = netlist.max_component_frequency_ghz()
+    report = hotspot_report(layout)
+
+    print(f"Placed {result.num_cells} cells in {result.runtime_s:.1f}s "
+          f"({result.iterations} iterations)")
+    print(f"Substrate: {mer.w:.1f} x {mer.h:.1f} mm  (Amer {layout.amer():.1f} mm^2)")
+    print(f"TM110 box mode: {tm110:.2f} GHz vs max component {fmax:.2f} GHz "
+          f"-> {'OK' if tm110 > fmax else 'VIOLATED (substrate too large)'}")
+    print(f"Hotspot proportion Ph: {report.ph_percent:.3f}% "
+          f"({report.num_hotspots} pairs)")
+    print(f"Resonator integration failures: "
+          f"{result.legalize_stats.integration_failures}")
+
+    svg_path = out_dir / "falcon_layout.svg"
+    gds_path = out_dir / "falcon_layout.gds"
+    json_path = out_dir / "falcon_layout.json"
+    save_svg(layout, svg_path)
+    save_gds(layout, gds_path)
+    save_layout(layout, json_path, segment_size_mm=result.problem.config.segment_size_mm)
+    print(f"\nExports written to {out_dir}/:")
+    for path in (svg_path, gds_path, json_path):
+        print(f"  {path.name}  ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

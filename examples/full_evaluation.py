@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Run the paper's complete evaluation and emit EXPERIMENTS-ready tables.
+
+Reproduces Figs. 11, 12, 13 on all six topologies with the full 50-subset
+mapping protocol, plus the Fig. 15 / Table II sweep, and writes every
+table to a results file (default ``examples/output/full_evaluation.txt``).
+
+This is the long-running counterpart of the benchmark harness: expect
+minutes of runtime at the paper's full protocol.
+
+Usage::
+
+    python examples/full_evaluation.py [--mappings N] [--out PATH]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import (
+    FIDELITY_FLOOR,
+    area_table,
+    build_suite,
+    fidelity_experiment,
+    fidelity_table,
+    segment_sweep,
+    summary_experiment,
+    summary_table,
+    sweep_table,
+)
+from repro.circuits.library import PAPER_BENCHMARKS
+from repro.devices import PAPER_TOPOLOGY_ORDER
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mappings", type=int, default=50,
+                        help="mapping subsets per benchmark (paper: 50)")
+    parser.add_argument("--out", default="examples/output/full_evaluation.txt")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the Fig. 15 / Table II lb sweep")
+    args = parser.parse_args()
+
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    sections = []
+    start = time.perf_counter()
+
+    all_summaries = []
+    area_ratios = {}
+    improvements = []
+    for name in PAPER_TOPOLOGY_ORDER:
+        t0 = time.perf_counter()
+        suite = build_suite(name)
+        fidelity = fidelity_experiment(suite, benchmarks=PAPER_BENCHMARKS,
+                                       num_mappings=args.mappings)
+        summary = summary_experiment(suite, benchmarks=PAPER_BENCHMARKS,
+                                     num_mappings=args.mappings,
+                                     fidelity=fidelity)
+        all_summaries.extend(summary)
+        area_ratios[name] = {
+            s: suite.layouts[s].amer() / suite.layouts["qplacer"].amer()
+            for s in suite.layouts
+        }
+        for bench, row in fidelity.items():
+            improvements.append(row["qplacer"] / max(row["classic"],
+                                                     FIDELITY_FLOOR))
+        sections.append(fidelity_table(fidelity, name))
+        print(f"[{time.perf_counter() - start:6.1f}s] {name} done "
+              f"({time.perf_counter() - t0:.1f}s)")
+
+    sections.append(summary_table(all_summaries))
+    sections.append(area_table(area_ratios))
+
+    by_strategy = {}
+    for row in all_summaries:
+        by_strategy.setdefault(row.strategy, []).append(row)
+    mean_ph = {s: float(np.mean([r.ph_percent for r in rows]))
+               for s, rows in by_strategy.items()}
+    mean_human_ratio = float(np.mean(
+        [area_ratios[t]["human"] for t in area_ratios]))
+    headline = [
+        f"mean fidelity improvement (qplacer/classic, floored): "
+        f"{np.mean(improvements):.1f}x (paper: 36.7x)",
+        f"mean Ph qplacer {mean_ph.get('qplacer', 0):.2f}% vs classic "
+        f"{mean_ph.get('classic', 0):.2f}% (paper: 0.46% vs 5.87%)",
+        f"mean human/qplacer area ratio: {mean_human_ratio:.2f}x "
+        f"(paper: 2.14x)",
+    ]
+    sections.append("Headline numbers\n" + "\n".join(f"  {h}" for h in headline))
+
+    if not args.skip_sweep:
+        sweep_rows = []
+        for name in PAPER_TOPOLOGY_ORDER:
+            sweep_rows.extend(segment_sweep(name))
+            print(f"[{time.perf_counter() - start:6.1f}s] sweep {name} done")
+        sections.append(sweep_table(sweep_rows))
+
+    text = "\n\n".join(sections) + "\n"
+    out_path.write_text(text)
+    print(f"\nWrote {out_path} ({time.perf_counter() - start:.0f}s total)")
+    print("\n" + "\n".join(headline))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: place a quantum chip and inspect its quality metrics.
+
+Runs the full Qplacer flow on the IBM Falcon topology, compares it with
+the Classic and Human baselines, and prints the three evaluation axes of
+the paper: fidelity proxy (hotspots), area, and runtime.
+
+Usage::
+
+    python examples/quickstart.py [topology-name]
+"""
+
+import sys
+
+from repro import PlacerConfig, QPlacer, build_netlist, get_topology, human_layout
+from repro.analysis import compute_layout_metrics, format_table, resonator_integrity
+from repro.crosstalk import hotspot_report
+
+
+def main() -> None:
+    topology_name = sys.argv[1] if len(sys.argv) > 1 else "falcon-27"
+    topology = get_topology(topology_name)
+    print(f"Topology: {topology.name} — {topology.description}")
+    print(f"  {topology.num_qubits} qubits, {topology.num_couplers} couplers\n")
+
+    netlist = build_netlist(topology)
+    plan = netlist.plan
+    print(f"Frequency plan: {len(plan.qubit_levels)} qubit levels "
+          f"{[round(f, 3) for f in plan.qubit_levels]} GHz, "
+          f"{len(plan.resonator_levels)} resonator levels")
+    print(f"  conflict-free: {plan.is_conflict_free}\n")
+
+    rows = []
+    for label, layout, runtime in _layouts(netlist):
+        m = compute_layout_metrics(layout)
+        integrity = resonator_integrity(layout)
+        rows.append([
+            label, f"{m.amer_mm2:.1f}", f"{m.utilization:.2f}",
+            f"{m.ph_percent:.2f}", m.impacted_qubits,
+            f"{100 * integrity:.0f}%", f"{runtime:.1f}s",
+        ])
+    print(format_table(
+        ["strategy", "Amer (mm^2)", "util", "Ph (%)", "impacted",
+         "integration", "runtime"],
+        rows, title="Layout comparison"))
+
+
+def _layouts(netlist):
+    result = QPlacer().place(netlist)
+    yield "qplacer", result.layout, result.runtime_s
+    classic = QPlacer(PlacerConfig.classic()).place(netlist)
+    yield "classic", classic.layout, classic.runtime_s
+    yield "human", human_layout(netlist), 0.0
+
+
+if __name__ == "__main__":
+    main()

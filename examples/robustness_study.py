@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Extension study: layout robustness to fabrication frequency scatter.
+
+Fixed-frequency transmons land tens of MHz away from their design
+frequency.  This example freezes the placed layouts (a fabricated chip
+cannot be re-placed), perturbs the as-fabricated frequencies, and
+re-evaluates the hotspot proportion — quantifying how much margin each
+placement strategy really has, and how the SABRE router extension
+shortens the evaluation circuits.
+
+Usage::
+
+    python examples/robustness_study.py [topology]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.analysis.ablation import disorder_robustness, router_comparison
+
+
+def main() -> None:
+    topology = sys.argv[1] if len(sys.argv) > 1 else "falcon-27"
+
+    rows = disorder_robustness(topology,
+                               sigmas_ghz=(0.0, 0.01, 0.02, 0.04),
+                               trials=5)
+    body = [[r.strategy, f"{1e3 * r.sigma_ghz:.0f}",
+             f"{r.mean_ph_percent:.2f}", f"{r.worst_ph_percent:.2f}",
+             f"{r.mean_impacted:.1f}"]
+            for r in rows]
+    print(format_table(
+        ["strategy", "sigma (MHz)", "mean Ph (%)", "worst Ph (%)",
+         "impacted qubits"],
+        body, title=f"Frequency-disorder robustness — {topology}"))
+
+    print()
+    router_rows = router_comparison(topology, benchmarks=("bv-16", "qaoa-9"),
+                                    num_mappings=10)
+    body = [[r.benchmark, r.router, r.total_swaps,
+             f"{r.mean_duration_ns:.0f}"]
+            for r in router_rows]
+    print(format_table(
+        ["benchmark", "router", "total swaps", "mean duration (ns)"],
+        body, title=f"Routing strategies — {topology}"))
+
+    print("\nReading the table: the designed (sigma = 0) Qplacer layout is "
+          "hotspot-free; scatter beyond the frequency-comb margin "
+          "(~11 MHz here) re-creates resonant adjacencies on any layout, "
+          "which motivates the paper's aggressive padding defaults.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Fig. 15 / Table II ablation: sweep the resonator segment size lb.
+
+Partitioning resonators into smaller blocks buys layout flexibility but
+multiplies the instance count (and runtime); the paper finds lb = 0.3 mm
+the sweet spot.  This example reproduces the sweep on a configurable
+set of topologies.
+
+Usage::
+
+    python examples/segment_size_sweep.py [topology ...]
+"""
+
+import sys
+
+from repro.analysis import segment_sweep, sweep_table
+
+
+def main() -> None:
+    topologies = sys.argv[1:] or ["grid-25", "falcon-27"]
+    rows = []
+    for name in topologies:
+        rows.extend(segment_sweep(name))
+    print(sweep_table(rows))
+    print()
+    by_lb = {}
+    for r in rows:
+        by_lb.setdefault(r.segment_size_mm, []).append(r)
+    print("Mean across topologies:")
+    for lb, group in sorted(by_lb.items()):
+        cells = sum(g.num_cells for g in group) / len(group)
+        util = sum(g.utilization for g in group) / len(group)
+        ph = sum(g.ph_percent for g in group) / len(group)
+        rt = sum(g.runtime_s for g in group) / len(group)
+        print(f"  lb={lb:.1f}: #cells {cells:7.0f}  util {util:.3f}  "
+              f"Ph {ph:.2f}%  RT {rt:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

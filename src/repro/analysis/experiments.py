@@ -1,0 +1,348 @@
+"""Experiment pipelines for every table and figure of the paper.
+
+Each function reproduces one evaluation artefact:
+
+===============================  =========================================
+function                         paper artefact
+===============================  =========================================
+:func:`build_suite`              one topology placed by all 3 strategies
+:func:`fidelity_experiment`      Fig. 11 (per-benchmark fidelity bars)
+:func:`summary_experiment`       Fig. 12 (avg fidelity / impacted / Ph)
+:func:`area_experiment`          Fig. 13 (Amer ratios)
+:func:`segment_sweep`            Fig. 15 + Table II (lb ablation)
+:func:`pareto_points`            Fig. 1 (infidelity vs area)
+:func:`coupling_vs_detuning`     Fig. 4
+:func:`coupling_vs_distance`     Fig. 5-b
+:func:`resonator_coupling_curves`  Fig. 6-b/c
+===============================  =========================================
+
+All pipelines share mappings across strategies (Sec. VI-A: "the same
+mappings were used across all benchmarks and placers") and clamp reported
+fidelities at 1e-4, mirroring the paper's "<1e-4" table entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..baselines.human import human_layout
+from ..circuits.library import PAPER_BENCHMARKS, get_benchmark
+from ..circuits.mapping import MappedCircuit, evaluation_mappings
+from ..core.config import PlacerConfig
+from ..core.placer import PlacementResult, QPlacer
+from ..crosstalk.fidelity import estimate_program_fidelity
+from ..crosstalk.noise_model import NoiseParams
+from ..crosstalk.violations import find_spatial_violations
+from ..devices.layout import Layout
+from ..devices.netlist import QuantumNetlist, build_netlist
+from ..devices.topology import PAPER_TOPOLOGY_ORDER, Topology, get_topology
+from ..physics import capacitance, coupling
+from .metrics import LayoutMetrics, compute_layout_metrics
+
+#: The three placement strategies compared throughout the evaluation.
+STRATEGIES: Tuple[str, ...] = ("qplacer", "classic", "human")
+
+#: Fidelity floor matching the paper's "<1e-4" reporting convention.
+FIDELITY_FLOOR = 1e-4
+
+
+@dataclass
+class PlacementSuite:
+    """One topology placed by every strategy (the unit of evaluation).
+
+    Attributes:
+        topology: Device topology.
+        netlist: Shared netlist (same frequency plan for all strategies).
+        layouts: Strategy name -> layout.
+        results: Strategy name -> engine result (None for "human").
+    """
+
+    topology: Topology
+    netlist: QuantumNetlist
+    layouts: Dict[str, Layout]
+    results: Dict[str, Optional[PlacementResult]]
+
+    def metrics(self) -> Dict[str, LayoutMetrics]:
+        """Layout metrics for every strategy."""
+        return {name: compute_layout_metrics(layout)
+                for name, layout in self.layouts.items()}
+
+
+def build_suite(topology_name: str,
+                segment_size_mm: float = constants.DEFAULT_SEGMENT_SIZE_MM,
+                strategies: Sequence[str] = STRATEGIES,
+                config: Optional[PlacerConfig] = None) -> PlacementSuite:
+    """Place one topology with every requested strategy.
+
+    All strategies share the netlist (hence the frequency plan), matching
+    the paper's controlled comparison.
+    """
+    topology = get_topology(topology_name)
+    base = config if config is not None else PlacerConfig()
+    base = base.with_segment_size(segment_size_mm)
+    netlist = build_netlist(topology)
+    layouts: Dict[str, Layout] = {}
+    results: Dict[str, Optional[PlacementResult]] = {}
+    for strategy in strategies:
+        if strategy == "qplacer":
+            result = QPlacer(base).place(netlist)
+            layouts[strategy] = result.layout
+            results[strategy] = result
+        elif strategy == "classic":
+            classic_cfg = PlacerConfig.classic(
+                segment_size_mm=base.segment_size_mm,
+                qubit_clearance_mm=base.qubit_clearance_mm,
+                segment_clearance_mm=base.segment_clearance_mm,
+                whitespace_factor=base.whitespace_factor,
+                num_bins=base.num_bins,
+                max_iterations=base.max_iterations,
+                seed=base.seed,
+            )
+            result = QPlacer(classic_cfg).place(netlist)
+            layouts[strategy] = result.layout
+            results[strategy] = result
+        elif strategy == "human":
+            layouts[strategy] = human_layout(netlist, base)
+            results[strategy] = None
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+    return PlacementSuite(topology=topology, netlist=netlist,
+                          layouts=layouts, results=results)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — program fidelity per benchmark
+# ---------------------------------------------------------------------------
+
+def fidelity_experiment(suite: PlacementSuite,
+                        benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+                        num_mappings: int = constants.DEFAULT_NUM_MAPPINGS,
+                        params: NoiseParams = NoiseParams(),
+                        base_seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Average program fidelity per benchmark per strategy (Fig. 11).
+
+    Benchmarks wider than the device are skipped (every Table I
+    benchmark fits every Table I topology).
+    """
+    violations = {
+        name: find_spatial_violations(layout)
+        for name, layout in suite.layouts.items()
+    }
+    table: Dict[str, Dict[str, float]] = {}
+    for bench_name in benchmarks:
+        circuit = get_benchmark(bench_name)
+        if circuit.num_qubits > suite.topology.num_qubits:
+            continue
+        mappings = evaluation_mappings(circuit, suite.topology,
+                                       num_mappings=num_mappings,
+                                       base_seed=base_seed)
+        row: Dict[str, float] = {}
+        for strategy, layout in suite.layouts.items():
+            total = 0.0
+            for mapped in mappings:
+                total += estimate_program_fidelity(
+                    layout, mapped, params,
+                    violations=violations[strategy]).total
+            row[strategy] = max(total / len(mappings), FIDELITY_FLOOR)
+        table[bench_name] = row
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — summary: average fidelity, impacted qubits, Ph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One (topology, strategy) row of the Fig. 12 comparison."""
+
+    topology: str
+    strategy: str
+    avg_fidelity: float
+    impacted_qubits: int
+    ph_percent: float
+
+
+def summary_experiment(suite: PlacementSuite,
+                       benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+                       num_mappings: int = constants.DEFAULT_NUM_MAPPINGS,
+                       params: NoiseParams = NoiseParams(),
+                       fidelity: Optional[Dict[str, Dict[str, float]]] = None
+                       ) -> List[SummaryRow]:
+    """Fig. 12 rows for one topology.
+
+    Pass a precomputed ``fidelity`` table (from
+    :func:`fidelity_experiment`) to avoid re-running the mappings.
+    """
+    if fidelity is None:
+        fidelity = fidelity_experiment(suite, benchmarks, num_mappings, params)
+    metrics = suite.metrics()
+    rows: List[SummaryRow] = []
+    for strategy in suite.layouts:
+        values = [fidelity[b][strategy] for b in fidelity]
+        rows.append(SummaryRow(
+            topology=suite.topology.name,
+            strategy=strategy,
+            avg_fidelity=float(np.mean(values)) if values else 0.0,
+            impacted_qubits=metrics[strategy].impacted_qubits,
+            ph_percent=metrics[strategy].ph_percent,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — area ratios
+# ---------------------------------------------------------------------------
+
+def area_experiment(suite: PlacementSuite) -> Dict[str, float]:
+    """``Amer`` ratios relative to Qplacer (Fig. 13)."""
+    qplacer_amer = suite.layouts["qplacer"].amer()
+    return {name: layout.amer() / qplacer_amer
+            for name, layout in suite.layouts.items()}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 + Table II — segment-size sweep
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (topology, lb) entry of Fig. 15 / Table II."""
+
+    topology: str
+    segment_size_mm: float
+    num_cells: int
+    utilization: float
+    ph_percent: float
+    runtime_s: float
+    avg_iteration_s: float
+
+
+def segment_sweep(topology_name: str,
+                  segment_sizes: Sequence[float] = constants.SEGMENT_SIZE_SWEEP_MM,
+                  config: Optional[PlacerConfig] = None) -> List[SweepRow]:
+    """Sweep the resonator segment size ``lb`` (Fig. 15, Table II)."""
+    rows: List[SweepRow] = []
+    for lb in segment_sizes:
+        suite = build_suite(topology_name, segment_size_mm=lb,
+                            strategies=("qplacer",), config=config)
+        result = suite.results["qplacer"]
+        assert result is not None
+        m = compute_layout_metrics(suite.layouts["qplacer"])
+        rows.append(SweepRow(
+            topology=topology_name,
+            segment_size_mm=lb,
+            num_cells=result.num_cells,
+            utilization=m.utilization,
+            ph_percent=m.ph_percent,
+            runtime_s=result.runtime_s,
+            avg_iteration_s=result.avg_iteration_s,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — infidelity vs area Pareto sketch
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One strategy's (area, infidelity) point for one topology."""
+
+    topology: str
+    strategy: str
+    amer_mm2: float
+    infidelity: float
+
+
+def pareto_points(suite: PlacementSuite,
+                  benchmarks: Sequence[str] = ("bv-4", "qgan-4", "ising-4"),
+                  num_mappings: int = 10,
+                  params: NoiseParams = NoiseParams()) -> List[ParetoPoint]:
+    """Fig. 1's qualitative scatter: infidelity vs required area."""
+    fidelity = fidelity_experiment(suite, benchmarks, num_mappings, params)
+    points: List[ParetoPoint] = []
+    for strategy, layout in suite.layouts.items():
+        values = [fidelity[b][strategy] for b in fidelity]
+        avg = float(np.mean(values)) if values else 0.0
+        points.append(ParetoPoint(
+            topology=suite.topology.name,
+            strategy=strategy,
+            amer_mm2=layout.amer(),
+            infidelity=1.0 - avg,
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figs. 4 / 5-b / 6 — physics curves
+# ---------------------------------------------------------------------------
+
+def coupling_vs_detuning(freq1_ghz: float = 5.0,
+                         freq2_range_ghz: Tuple[float, float] = (4.6, 5.4),
+                         num_points: int = 81,
+                         g_ghz: float = 0.025) -> Dict[str, np.ndarray]:
+    """Fig. 4: effective qubit-qubit coupling as ``w2`` sweeps past ``w1``."""
+    freq2 = np.linspace(freq2_range_ghz[0], freq2_range_ghz[1], num_points)
+    effective = coupling.smooth_exchange_ghz(g_ghz, freq2 - freq1_ghz)
+    return {"freq2_ghz": freq2, "effective_coupling_ghz": effective}
+
+
+def coupling_vs_distance(distance_range_mm: Tuple[float, float] = (0.02, 2.0),
+                         num_points: int = 100,
+                         freq_ghz: float = 5.0,
+                         detuning_ghz: float = 0.3) -> Dict[str, np.ndarray]:
+    """Fig. 5-b: Cp, g and g_eff versus qubit separation."""
+    d = np.linspace(distance_range_mm[0], distance_range_mm[1], num_points)
+    cp = capacitance.qubit_parasitic_capacitance_ff(d)
+    g = coupling.qubit_qubit_coupling_ghz(freq_ghz, freq_ghz + detuning_ghz, cp)
+    g_eff = g * g / detuning_ghz
+    return {"distance_mm": d, "cp_ff": cp, "g_ghz": np.asarray(g),
+            "g_eff_ghz": np.asarray(g_eff)}
+
+
+def resonator_coupling_curves(distance_range_mm: Tuple[float, float] = (0.02, 1.0),
+                              num_points: int = 100,
+                              adjacent_length_mm: float = 1.0,
+                              freq_ghz: float = 6.5
+                              ) -> Dict[str, np.ndarray]:
+    """Fig. 6-b/c: resonator-resonator coupling vs detuning and distance."""
+    d = np.linspace(distance_range_mm[0], distance_range_mm[1], num_points)
+    cp = capacitance.resonator_parasitic_capacitance_ff(d, adjacent_length_mm)
+    g_dist = coupling.resonator_resonator_coupling_ghz(freq_ghz, freq_ghz, cp)
+    freq2 = np.linspace(freq_ghz - 0.5, freq_ghz + 0.5, num_points)
+    g0 = coupling.resonator_resonator_coupling_ghz(
+        freq_ghz, freq_ghz,
+        capacitance.resonator_parasitic_capacitance_ff(0.1, adjacent_length_mm))
+    g_freq = coupling.smooth_exchange_ghz(g0, freq2 - freq_ghz)
+    return {"distance_mm": d, "cp_ff": np.asarray(cp),
+            "g_vs_distance_ghz": np.asarray(g_dist),
+            "freq2_ghz": freq2, "g_vs_detuning_ghz": np.asarray(g_freq)}
+
+
+def run_full_evaluation(topology_names: Sequence[str] = PAPER_TOPOLOGY_ORDER,
+                        benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+                        num_mappings: int = constants.DEFAULT_NUM_MAPPINGS,
+                        segment_size_mm: float = constants.DEFAULT_SEGMENT_SIZE_MM,
+                        config: Optional[PlacerConfig] = None
+                        ) -> Dict[str, Dict[str, object]]:
+    """The paper's whole evaluation: Figs. 11-13 for every topology.
+
+    Returns a nested dict keyed by topology with ``fidelity`` (Fig. 11),
+    ``summary`` (Fig. 12), and ``area_ratio`` (Fig. 13) entries.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for name in topology_names:
+        suite = build_suite(name, segment_size_mm=segment_size_mm, config=config)
+        fidelity = fidelity_experiment(suite, benchmarks, num_mappings)
+        out[name] = {
+            "fidelity": fidelity,
+            "summary": summary_experiment(suite, benchmarks, num_mappings,
+                                          fidelity=fidelity),
+            "area_ratio": area_experiment(suite),
+        }
+    return out

@@ -1,0 +1,12 @@
+"""Evaluation baselines: Classic placer and Human manual design."""
+
+from .classic import ClassicPlacer, classic_placement
+from .human import human_layout, human_qubit_pitch_mm, human_strip_length_mm
+
+__all__ = [
+    "ClassicPlacer",
+    "classic_placement",
+    "human_layout",
+    "human_qubit_pitch_mm",
+    "human_strip_length_mm",
+]

@@ -1,0 +1,36 @@
+"""The ``Classic`` baseline: state-of-the-art VLSI placer (Sec. V-B).
+
+The paper's Classic baseline is DREAMPlace [53] with default
+hyper-parameters plus the resonator-partitioning preprocessing.  In this
+reproduction the Classic baseline is the *identical* electrostatic engine
+with every frequency-aware mechanism disabled (force, resonant checker,
+chain-aware Tetris, integration repair) — see
+:meth:`repro.core.config.PlacerConfig.classic`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import PlacerConfig
+from ..core.placer import PlacementResult, QPlacer
+from ..devices.netlist import QuantumNetlist
+
+
+class ClassicPlacer(QPlacer):
+    """Frequency-oblivious electrostatic placer (the paper's Classic)."""
+
+    def __init__(self, config: Optional[PlacerConfig] = None) -> None:
+        if config is None:
+            config = PlacerConfig.classic()
+        elif config.frequency_aware:
+            raise ValueError(
+                "ClassicPlacer requires a frequency-oblivious config; "
+                "use PlacerConfig.classic(**overrides)")
+        super().__init__(config)
+
+
+def classic_placement(netlist: QuantumNetlist,
+                      config: Optional[PlacerConfig] = None) -> PlacementResult:
+    """One-call Classic placement of a netlist."""
+    return ClassicPlacer(config).place(netlist)

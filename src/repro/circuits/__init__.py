@@ -1,0 +1,59 @@
+"""Benchmark circuits, transpilation, and device mapping."""
+
+from .circuit import QuantumCircuit, Schedule
+from .gates import (
+    BASIS_GATES,
+    KNOWN_GATES,
+    PARAMETRIC_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+)
+from .library import (
+    PAPER_BENCHMARKS,
+    all_paper_benchmarks,
+    bernstein_vazirani,
+    get_benchmark,
+    ising_chain,
+    qaoa,
+    qgan,
+)
+from .mapping import (
+    MappedCircuit,
+    evaluation_mappings,
+    initial_placement,
+    interaction_weights,
+    map_circuit,
+    route,
+    sample_connected_subset,
+)
+from .sabre import route_sabre
+from .transpile import cancel_pairs, lower_to_basis, merge_rz, transpile
+
+__all__ = [
+    "BASIS_GATES",
+    "Gate",
+    "KNOWN_GATES",
+    "MappedCircuit",
+    "PAPER_BENCHMARKS",
+    "PARAMETRIC_GATES",
+    "QuantumCircuit",
+    "Schedule",
+    "TWO_QUBIT_GATES",
+    "all_paper_benchmarks",
+    "bernstein_vazirani",
+    "cancel_pairs",
+    "evaluation_mappings",
+    "get_benchmark",
+    "initial_placement",
+    "interaction_weights",
+    "ising_chain",
+    "lower_to_basis",
+    "map_circuit",
+    "merge_rz",
+    "qaoa",
+    "qgan",
+    "route",
+    "route_sabre",
+    "sample_connected_subset",
+    "transpile",
+]

@@ -1,0 +1,204 @@
+"""Quantum-circuit IR: an ordered gate list with scheduling helpers.
+
+The fidelity model (Eq. 15) needs, for a mapped circuit:
+
+* gate counts per physical qubit and per coupled pair,
+* the set of *active* qubits and couplers (inactive elements do not harm
+  program fidelity, Sec. V-C),
+* an ASAP schedule giving the total duration and per-qubit idle time for
+  the decoherence term.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import constants
+from .gates import Gate, barrier, cx, cz, h, rx, ry, rz, rzz, swap, sx, x
+
+
+class QuantumCircuit:
+    """An ordered list of gates over ``num_qubits`` logical wires."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise ValueError("circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        self.gates: List[Gate] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating qubit indices; returns self."""
+        if any(q < 0 or q >= self.num_qubits for q in gate.qubits):
+            raise ValueError(
+                f"gate {gate.name} on {gate.qubits} outside 0..{self.num_qubits - 1}")
+        self.gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append many gates; returns self."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # Convenience builders mirroring the constructors in gates.py.
+    def rz(self, q: int, angle: float) -> "QuantumCircuit":
+        return self.append(rz(q, angle))
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        return self.append(sx(q))
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.append(x(q))
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.append(h(q))
+
+    def rx(self, q: int, angle: float) -> "QuantumCircuit":
+        return self.append(rx(q, angle))
+
+    def ry(self, q: int, angle: float) -> "QuantumCircuit":
+        return self.append(ry(q, angle))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append(cz(a, b))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(cx(control, target))
+
+    def rzz(self, a: int, b: int, angle: float) -> "QuantumCircuit":
+        return self.append(rzz(a, b, angle))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append(swap(a, b))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        return self.append(barrier(*(qubits or range(self.num_qubits))))
+
+    # -- statistics ------------------------------------------------------------
+
+    def count_ops(self) -> Dict[str, int]:
+        """Gate-name histogram (barriers excluded)."""
+        return dict(Counter(g.name for g in self.gates if g.name != "barrier"))
+
+    @property
+    def size(self) -> int:
+        """Total gate count (barriers excluded)."""
+        return sum(1 for g in self.gates if g.name != "barrier")
+
+    @property
+    def two_qubit_gate_count(self) -> int:
+        """Number of two-qubit gates."""
+        return sum(1 for g in self.gates if g.is_two_qubit)
+
+    def used_qubits(self) -> Set[int]:
+        """Qubits touched by at least one non-barrier gate."""
+        used: Set[int] = set()
+        for g in self.gates:
+            if g.name != "barrier":
+                used.update(g.qubits)
+        return used
+
+    def used_pairs(self) -> Set[Tuple[int, int]]:
+        """Canonical ``(lo, hi)`` pairs touched by two-qubit gates."""
+        pairs: Set[Tuple[int, int]] = set()
+        for g in self.gates:
+            if g.is_two_qubit:
+                a, b = g.qubits
+                pairs.add((min(a, b), max(a, b)))
+        return pairs
+
+    def gate_counts_per_qubit(self) -> Dict[int, Counter]:
+        """Per-qubit histogram of gate names."""
+        counts: Dict[int, Counter] = {}
+        for g in self.gates:
+            if g.name == "barrier":
+                continue
+            for q in g.qubits:
+                counts.setdefault(q, Counter())[g.name] += 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth counting every non-barrier gate as one layer unit."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for g in self.gates:
+            if g.name == "barrier":
+                sync = max((level.get(q, 0) for q in g.qubits), default=0)
+                for q in g.qubits:
+                    level[q] = sync
+                continue
+            start = max(level.get(q, 0) for q in g.qubits)
+            for q in g.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def asap_schedule(self,
+                      single_qubit_ns: float = constants.SINGLE_QUBIT_GATE_NS,
+                      two_qubit_ns: float = constants.TWO_QUBIT_GATE_NS
+                      ) -> "Schedule":
+        """Greedy as-soon-as-possible schedule (rz gates are free/virtual)."""
+        ready: Dict[int, float] = {}
+        busy: Dict[int, float] = {}
+        for g in self.gates:
+            if g.name == "barrier":
+                sync = max((ready.get(q, 0.0) for q in g.qubits), default=0.0)
+                for q in g.qubits:
+                    ready[q] = sync
+                continue
+            if g.name == "rz":
+                duration = 0.0  # virtual-Z: frame update only
+            elif g.is_two_qubit:
+                duration = two_qubit_ns
+            else:
+                duration = single_qubit_ns
+            start = max(ready.get(q, 0.0) for q in g.qubits)
+            for q in g.qubits:
+                ready[q] = start + duration
+                busy[q] = busy.get(q, 0.0) + duration
+        total = max(ready.values(), default=0.0)
+        return Schedule(total_ns=total,
+                        busy_ns={q: busy.get(q, 0.0) for q in self.used_qubits()})
+
+    # -- transformations -----------------------------------------------------------
+
+    def remapped(self, mapping: Dict[int, int], num_qubits: int) -> "QuantumCircuit":
+        """Translate qubit indices through ``mapping`` (logical -> physical)."""
+        out = QuantumCircuit(num_qubits, name=self.name)
+        for g in self.gates:
+            out.append(g.remapped(mapping))
+        return out
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable)."""
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        out.gates = list(self.gates)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"QuantumCircuit({self.name!r}, qubits={self.num_qubits}, "
+                f"gates={self.size}, depth={self.depth()})")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Result of :meth:`QuantumCircuit.asap_schedule`.
+
+    Attributes:
+        total_ns: Makespan of the circuit.
+        busy_ns: Per-qubit time spent actively gated.
+    """
+
+    total_ns: float
+    busy_ns: Dict[int, float]
+
+    def idle_ns(self, qubit: int) -> float:
+        """Idle time of ``qubit`` = makespan minus its busy time."""
+        return max(0.0, self.total_ns - self.busy_ns.get(qubit, 0.0))

@@ -1,0 +1,61 @@
+"""NISQ benchmark circuits (Table I of the paper).
+
+Benchmarks: ``bv-{4,9,16}``, ``qaoa-{4,9}``, ``ising-4``, ``qgan-{4,9}``.
+:func:`get_benchmark` resolves the paper's benchmark names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..circuit import QuantumCircuit
+from .bv import bernstein_vazirani
+from .ising import ising_chain
+from .qaoa import qaoa
+from .qgan import qgan
+
+#: Benchmark names in the paper's figure order.
+PAPER_BENCHMARKS: Tuple[str, ...] = (
+    "bv-4", "bv-9", "bv-16", "qaoa-4", "qaoa-9", "ising-4", "qgan-4", "qgan-9",
+)
+
+_FAMILIES: Dict[str, Callable[[int], QuantumCircuit]] = {
+    "bv": bernstein_vazirani,
+    "qaoa": qaoa,
+    "ising": ising_chain,
+    "qgan": qgan,
+}
+
+
+def get_benchmark(name: str) -> QuantumCircuit:
+    """Build a benchmark circuit from a ``family-width`` name.
+
+    Examples:
+        >>> get_benchmark("bv-4").num_qubits
+        4
+    """
+    try:
+        family, width_text = name.rsplit("-", 1)
+        width = int(width_text)
+    except ValueError:
+        raise ValueError(f"benchmark name must look like 'bv-4', got {name!r}") from None
+    if family not in _FAMILIES:
+        known = ", ".join(sorted(_FAMILIES))
+        raise ValueError(f"unknown benchmark family {family!r}; known: {known}")
+    return _FAMILIES[family](width)
+
+
+def all_paper_benchmarks() -> List[QuantumCircuit]:
+    """All eight Table I benchmarks in paper order."""
+    return [get_benchmark(name) for name in PAPER_BENCHMARKS]
+
+
+__all__ = [
+    "PAPER_BENCHMARKS",
+    "all_paper_benchmarks",
+    "bernstein_vazirani",
+    "get_benchmark",
+    "ising_chain",
+    "qaoa",
+    "qgan",
+]

@@ -1,0 +1,40 @@
+"""Quantum GAN generator-ansatz benchmark (Table I, ref. [55]).
+
+The QGAN workload is dominated by its hardware-efficient variational
+generator: alternating single-qubit rotation layers and linear CX
+entangling chains.  Angles are deterministic functions of (layer, qubit)
+so repeated runs build identical circuits.  The paper evaluates qgan-4
+and qgan-9.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+
+def qgan(num_qubits: int, layers: int = 2) -> QuantumCircuit:
+    """Build the QGAN hardware-efficient generator ansatz.
+
+    Args:
+        num_qubits: Register width (>= 2).
+        layers: Number of rotation+entanglement blocks.
+    """
+    if num_qubits < 2:
+        raise ValueError("QGAN ansatz needs at least 2 qubits")
+    if layers < 1:
+        raise ValueError("need at least one ansatz layer")
+    qc = QuantumCircuit(num_qubits, name=f"qgan-{num_qubits}")
+    for layer in range(layers):
+        for q in range(num_qubits):
+            theta = math.pi * (0.1 + 0.8 * ((layer * num_qubits + q) % 7) / 7.0)
+            qc.ry(q, theta)
+            qc.rz(q, theta / 2.0)
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+    # Final rotation layer (standard ansatz closing layer).
+    for q in range(num_qubits):
+        theta = math.pi * (0.1 + 0.8 * ((layers * num_qubits + q) % 7) / 7.0)
+        qc.ry(q, theta)
+    return qc

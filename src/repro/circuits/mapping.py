@@ -1,0 +1,264 @@
+"""Mapping benchmark circuits onto device topologies (Sec. VI-A protocol).
+
+The paper evaluates each layout on **50 different subsets of physical
+qubits** chosen to cover the whole chip, reusing the *same* mappings for
+every placement strategy.  This module reproduces that protocol:
+
+1. :func:`sample_connected_subset` grows a random connected region of the
+   coupling graph from a seed-dependent start node;
+2. :func:`initial_placement` assigns logical qubits to subset nodes,
+   keeping strongly interacting logical pairs physically close;
+3. :func:`route` inserts SWAPs along shortest coupler paths until every
+   two-qubit gate is executable;
+4. the result is lowered to the native basis by
+   :mod:`repro.circuits.transpile` and scheduled ASAP.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..devices.topology import Topology
+from .circuit import QuantumCircuit, Schedule
+from .gates import Gate
+from .transpile import transpile
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class MappedCircuit:
+    """A benchmark circuit compiled onto physical qubits of a device.
+
+    Attributes:
+        physical_circuit: Basis-gate circuit over physical qubit indices.
+        topology: Target topology.
+        initial_mapping: logical -> physical assignment before routing.
+        final_mapping: logical -> physical assignment after routing.
+        swap_count: Number of SWAPs inserted by the router.
+        schedule: ASAP schedule of the physical circuit.
+    """
+
+    physical_circuit: QuantumCircuit
+    topology: Topology
+    initial_mapping: Dict[int, int]
+    final_mapping: Dict[int, int]
+    swap_count: int
+    schedule: Schedule
+
+    @property
+    def active_qubits(self) -> Set[int]:
+        """Physical qubits touched by at least one gate."""
+        return self.physical_circuit.used_qubits()
+
+    @property
+    def active_edges(self) -> Set[Edge]:
+        """Physical coupler edges used by two-qubit gates."""
+        return self.physical_circuit.used_pairs()
+
+    @property
+    def duration_ns(self) -> float:
+        """Total circuit duration."""
+        return self.schedule.total_ns
+
+    def two_qubit_counts(self) -> Dict[Edge, int]:
+        """Number of two-qubit gates per physical coupler."""
+        counts: Counter = Counter()
+        for g in self.physical_circuit.gates:
+            if g.is_two_qubit:
+                a, b = g.qubits
+                counts[(min(a, b), max(a, b))] += 1
+        return dict(counts)
+
+    def single_qubit_counts(self) -> Dict[int, int]:
+        """Number of timed single-qubit gates per physical qubit.
+
+        Virtual rz gates are free and excluded.
+        """
+        counts: Counter = Counter()
+        for g in self.physical_circuit.gates:
+            if g.name in ("sx", "x"):
+                counts[g.qubits[0]] += 1
+        return dict(counts)
+
+
+def sample_connected_subset(topology: Topology, size: int,
+                            seed: int = 0) -> List[int]:
+    """Grow a random connected subset of ``size`` physical qubits.
+
+    The start node cycles deterministically with the seed so that a batch
+    of seeds (0..49 in the paper protocol) covers the whole chip.
+
+    Raises:
+        ValueError: when ``size`` exceeds the device size.
+    """
+    n = topology.num_qubits
+    if size < 1 or size > n:
+        raise ValueError(f"subset size {size} out of range 1..{n}")
+    rng = np.random.default_rng(seed)
+    start_order = rng.permutation(n)
+    start = int(start_order[seed % n])
+    subset = {start}
+    frontier = set(topology.neighbors(start))
+    while len(subset) < size:
+        if not frontier:
+            raise RuntimeError("connected topology exhausted prematurely")
+        candidates = sorted(frontier)
+        pick = int(candidates[int(rng.integers(len(candidates)))])
+        subset.add(pick)
+        frontier.discard(pick)
+        frontier.update(q for q in topology.neighbors(pick) if q not in subset)
+    return sorted(subset)
+
+
+def interaction_weights(circuit: QuantumCircuit) -> Dict[Edge, int]:
+    """Two-qubit interaction counts between logical qubit pairs."""
+    weights: Counter = Counter()
+    for g in circuit.gates:
+        if g.is_two_qubit:
+            a, b = g.qubits
+            weights[(min(a, b), max(a, b))] += 1
+    return dict(weights)
+
+
+def initial_placement(circuit: QuantumCircuit, topology: Topology,
+                      subset: Sequence[int]) -> Dict[int, int]:
+    """Greedy interaction-aware logical -> physical assignment.
+
+    The most-interacting logical qubit lands on the subset's most central
+    node; every following qubit takes the free node minimising the
+    weighted distance to its already-placed interaction partners.
+    """
+    subset = list(subset)
+    if circuit.num_qubits > len(subset):
+        raise ValueError("subset smaller than circuit width")
+    sub_lengths = {
+        s: nx.single_source_shortest_path_length(topology.graph, s)
+        for s in subset
+    }
+    weights = interaction_weights(circuit)
+    degree: Counter = Counter()
+    for (a, b), w in weights.items():
+        degree[a] += w
+        degree[b] += w
+    order = sorted(range(circuit.num_qubits), key=lambda q: (-degree[q], q))
+    free = set(subset)
+    mapping: Dict[int, int] = {}
+    for logical in order:
+        if not mapping:
+            # Most central free node: minimise eccentricity within subset.
+            choice = min(free, key=lambda s: (max(sub_lengths[s][t] for t in subset), s))
+        else:
+            def cost(node: int) -> Tuple[float, int]:
+                total = 0.0
+                for (a, b), w in weights.items():
+                    partner = None
+                    if a == logical and b in mapping:
+                        partner = mapping[b]
+                    elif b == logical and a in mapping:
+                        partner = mapping[a]
+                    if partner is not None:
+                        total += w * sub_lengths[node][partner]
+                return (total, node)
+
+            choice = min(free, key=cost)
+        mapping[logical] = choice
+        free.discard(choice)
+    return mapping
+
+
+def route(circuit: QuantumCircuit, topology: Topology,
+          mapping: Dict[int, int]) -> Tuple[QuantumCircuit, Dict[int, int], int]:
+    """Insert SWAPs so every two-qubit gate acts on coupled qubits.
+
+    Returns:
+        ``(physical_circuit, final_mapping, swap_count)`` where the
+        physical circuit is still in IR gates (swap/cx/... not yet
+        lowered) over physical indices.
+    """
+    logical_at: Dict[int, int] = dict(mapping)  # logical -> physical
+    physical_of: Dict[int, int] = {p: l for l, p in mapping.items()}
+    out = QuantumCircuit(topology.num_qubits, name=circuit.name)
+    swap_count = 0
+    for gate in circuit.gates:
+        if gate.name == "barrier":
+            continue
+        if not gate.is_two_qubit:
+            out.append(gate.remapped(logical_at))
+            continue
+        a, b = gate.qubits
+        pa, pb = logical_at[a], logical_at[b]
+        if not topology.graph.has_edge(pa, pb):
+            path = topology.shortest_path(pa, pb)
+            # Swap logical qubit a along the path until adjacent to pb.
+            for step in range(len(path) - 2):
+                u, v = path[step], path[step + 1]
+                out.append(Gate("swap", (u, v)))
+                swap_count += 1
+                lu, lv = physical_of.get(u), physical_of.get(v)
+                if lu is not None:
+                    logical_at[lu] = v
+                if lv is not None:
+                    logical_at[lv] = u
+                physical_of[u], physical_of[v] = lv, lu
+                if physical_of.get(u) is None:
+                    physical_of.pop(u, None)
+                if physical_of.get(v) is None:
+                    physical_of.pop(v, None)
+            pa, pb = logical_at[a], logical_at[b]
+        out.append(gate.remapped({a: pa, b: pb}))
+    return out, logical_at, swap_count
+
+
+def map_circuit(circuit: QuantumCircuit, topology: Topology,
+                seed: int = 0,
+                subset: Optional[Sequence[int]] = None,
+                optimization_level: int = 3,
+                router: str = "basic") -> MappedCircuit:
+    """Full pipeline: subset -> placement -> routing -> transpile -> schedule.
+
+    Args:
+        circuit: Logical benchmark circuit.
+        topology: Target device.
+        seed: Deterministic seed selecting the physical-qubit subset.
+        subset: Explicit subset overriding the sampler (for tests).
+        optimization_level: Transpiler effort (paper uses L3).
+        router: ``"basic"`` (shortest-path walking) or ``"sabre"``
+            (look-ahead heuristic, usually fewer SWAPs).
+    """
+    if subset is None:
+        subset = sample_connected_subset(topology, circuit.num_qubits, seed)
+    mapping = initial_placement(circuit, topology, subset)
+    if router == "basic":
+        routed, final_mapping, swap_count = route(circuit, topology, mapping)
+    elif router == "sabre":
+        from .sabre import route_sabre
+        routed, final_mapping, swap_count = route_sabre(
+            circuit, topology, mapping)
+    else:
+        raise ValueError(f"unknown router {router!r}; use 'basic' or 'sabre'")
+    physical = transpile(routed, optimization_level=optimization_level)
+    return MappedCircuit(
+        physical_circuit=physical,
+        topology=topology,
+        initial_mapping=mapping,
+        final_mapping=final_mapping,
+        swap_count=swap_count,
+        schedule=physical.asap_schedule(),
+    )
+
+
+def evaluation_mappings(circuit: QuantumCircuit, topology: Topology,
+                        num_mappings: int = 50,
+                        base_seed: int = 0,
+                        router: str = "basic") -> List[MappedCircuit]:
+    """The paper's 50-subset evaluation set (deterministic per base seed)."""
+    return [
+        map_circuit(circuit, topology, seed=base_seed + k, router=router)
+        for k in range(num_mappings)
+    ]

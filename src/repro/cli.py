@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``place``     — place a topology and print/export the layout
+* ``evaluate``  — Fig. 11/12/13 evaluation on one topology
+* ``sweep``     — Fig. 15 / Table II segment-size sweep
+* ``ablation``  — design-choice ablation table
+* ``physics``   — the Fig. 4/5/6 physics curves and TM110 table
+* ``topologies`` — list the registered device topologies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import constants
+from .analysis import (
+    area_experiment,
+    build_suite,
+    compute_layout_metrics,
+    fidelity_experiment,
+    fidelity_table,
+    format_table,
+    resonator_integrity,
+    segment_sweep,
+    summary_experiment,
+    summary_table,
+    sweep_table,
+)
+from .analysis.ablation import ablation_experiment
+from .core import PlacerConfig, QPlacer
+from .devices import PAPER_TOPOLOGY_ORDER, TOPOLOGY_FACTORIES, build_netlist, get_topology
+from .io import save_gds, save_layout, save_svg
+
+
+def _add_common_placer_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("topology", help="topology name, e.g. falcon-27")
+    parser.add_argument("--segment-size", type=float,
+                        default=constants.DEFAULT_SEGMENT_SIZE_MM,
+                        help="resonator segment size lb in mm (default 0.3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="placement seed (default 0)")
+
+
+def _config_from(args: argparse.Namespace) -> PlacerConfig:
+    return PlacerConfig(segment_size_mm=args.segment_size, seed=args.seed)
+
+
+def cmd_topologies(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in PAPER_TOPOLOGY_ORDER:
+        topo = get_topology(name)
+        rows.append([name, topo.num_qubits, topo.num_couplers,
+                     topo.description])
+    print(format_table(["name", "qubits", "couplers", "description"], rows,
+                       title="Registered topologies (Table I)"))
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    if args.classic:
+        config = PlacerConfig.classic(segment_size_mm=args.segment_size,
+                                      seed=args.seed)
+    netlist = build_netlist(get_topology(args.topology))
+    result = QPlacer(config).place(netlist)
+    metrics = compute_layout_metrics(result.layout)
+    rows = [
+        ["strategy", result.layout.strategy],
+        ["cells", result.num_cells],
+        ["iterations", result.iterations],
+        ["runtime (s)", f"{result.runtime_s:.1f}"],
+        ["Amer (mm^2)", f"{metrics.amer_mm2:.1f}"],
+        ["utilization", f"{metrics.utilization:.3f}"],
+        ["Ph (%)", f"{metrics.ph_percent:.3f}"],
+        ["impacted qubits", metrics.impacted_qubits],
+        ["resonator integrity", f"{resonator_integrity(result.layout):.2f}"],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"Placement — {args.topology}"))
+    if args.svg:
+        save_svg(result.layout, args.svg)
+        print(f"wrote {args.svg}")
+    if args.gds:
+        save_gds(result.layout, args.gds)
+        print(f"wrote {args.gds}")
+    if args.json:
+        save_layout(result.layout, args.json,
+                    segment_size_mm=args.segment_size)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    suite = build_suite(args.topology, segment_size_mm=args.segment_size,
+                        config=config)
+    benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else \
+        ("bv-4", "bv-16", "qaoa-9", "ising-4", "qgan-4")
+    fidelity = fidelity_experiment(suite, benchmarks=benchmarks,
+                                   num_mappings=args.mappings)
+    print(fidelity_table(fidelity, args.topology))
+    print()
+    print(summary_table(summary_experiment(
+        suite, benchmarks=benchmarks, num_mappings=args.mappings,
+        fidelity=fidelity)))
+    print()
+    ratios = area_experiment(suite)
+    rows = [[s, f"{r:.3f}"] for s, r in sorted(ratios.items())]
+    print(format_table(["strategy", "Amer ratio"], rows,
+                       title="Fig.13 area ratios (vs Qplacer)"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = segment_sweep(args.topology,
+                         config=PlacerConfig(seed=args.seed))
+    print(sweep_table(rows))
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    rows = ablation_experiment(args.topology,
+                               config=_config_from(args))
+    body = [[r.variant, f"{r.ph_percent:.3f}", r.impacted_qubits,
+             f"{r.amer_mm2:.1f}", f"{r.integrity:.2f}",
+             f"{r.runtime_s:.1f}"]
+            for r in rows]
+    print(format_table(
+        ["variant", "Ph (%)", "impacted", "Amer (mm^2)", "integrity",
+         "RT (s)"],
+        body, title=f"Ablation — {args.topology}"))
+    return 0
+
+
+def cmd_physics(_args: argparse.Namespace) -> int:
+    from .analysis import coupling_vs_detuning, coupling_vs_distance
+    from .physics import tm110_frequency_ghz
+
+    fig4 = coupling_vs_detuning(num_points=17)
+    rows = [[f"{f:.2f}", f"{1e3 * g:.3f}"]
+            for f, g in zip(fig4["freq2_ghz"],
+                            fig4["effective_coupling_ghz"])]
+    print(format_table(["w2 (GHz)", "g_eff (MHz)"], rows,
+                       title="Fig.4 coupling vs detuning"))
+    print()
+    fig5 = coupling_vs_distance(num_points=9)
+    rows = [[f"{d:.2f}", f"{c:.4f}", f"{1e3 * g:.3f}"]
+            for d, c, g in zip(fig5["distance_mm"], fig5["cp_ff"],
+                               fig5["g_ghz"])]
+    print(format_table(["d (mm)", "Cp (fF)", "g (MHz)"], rows,
+                       title="Fig.5-b coupling vs distance"))
+    print()
+    rows = [[f"{s:.0f}x{s:.0f}", f"{tm110_frequency_ghz(s, s):.2f}"]
+            for s in (5.0, 7.5, 10.0)]
+    print(format_table(["substrate (mm)", "TM110 (GHz)"], rows,
+                       title="Sec.III-C box modes"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Qplacer reproduction: frequency-aware quantum-chip "
+                    "placement (ISCA 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topologies", help="list registered topologies")
+    p.set_defaults(func=cmd_topologies)
+
+    p = sub.add_parser("place", help="place one topology")
+    _add_common_placer_args(p)
+    p.add_argument("--classic", action="store_true",
+                   help="use the frequency-oblivious Classic baseline")
+    p.add_argument("--svg", help="write an SVG rendering to this path")
+    p.add_argument("--gds", help="write a GDSII export to this path")
+    p.add_argument("--json", help="write a JSON serialisation to this path")
+    p.set_defaults(func=cmd_place)
+
+    p = sub.add_parser("evaluate",
+                       help="Fig. 11/12/13 evaluation on one topology")
+    _add_common_placer_args(p)
+    p.add_argument("--mappings", type=int, default=12,
+                   help="mapping subsets per benchmark (paper: 50)")
+    p.add_argument("--benchmarks",
+                   help="comma-separated benchmark list (default: 5 of 8)")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("sweep", help="Fig. 15 / Table II segment-size sweep")
+    p.add_argument("topology")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("ablation", help="design-choice ablation table")
+    _add_common_placer_args(p)
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("physics", help="Fig. 4/5/6 physics tables")
+    p.set_defaults(func=cmd_physics)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Electrostatic density field (Eq. 11, ePlace formulation [56]).
+
+Instances are rasterised into a uniform bin grid as area "charge".  The
+electric potential ``psi`` follows Poisson's equation
+``laplace(psi) = -rho`` with Neumann boundaries, solved spectrally with a
+type-II discrete cosine transform.  The penalty energy is
+``sum_b rho_b psi_b`` and the per-instance gradient is the instance's
+bin-overlap-weighted electric field ``-grad(psi)`` — overlapping regions
+push instances apart exactly like like charges repel.
+
+Rasterisation is vectorised by *size groups*: the quantum problem has
+only two footprints (qubits and segments), so each group processes all
+its instances with fixed-size bin windows in pure numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from ..devices.geometry import Rect
+
+
+@dataclass
+class DensityResult:
+    """One density evaluation.
+
+    Attributes:
+        energy: Potential energy ``sum_b rho_b psi_b``.
+        grad: ``(n, 2)`` gradient w.r.t. instance centres.
+        overflow: Fraction of total instance area exceeding the per-bin
+            capacity (the ePlace stopping metric).
+        density: The ``(nb, nb)`` bin density map (area per bin).
+    """
+
+    energy: float
+    grad: np.ndarray
+    overflow: float
+    density: np.ndarray
+
+
+class DensityGrid:
+    """Bin grid + spectral Poisson solver for one placement region."""
+
+    def __init__(self, region: Rect, num_bins: int, sizes: np.ndarray,
+                 target_density: float = 1.0) -> None:
+        """Args:
+            region: Placement canvas.
+            num_bins: Bins per axis.
+            sizes: ``(n, 2)`` *inflated* instance footprints used as the
+                charge shape (bare size + routing clearance).
+            target_density: Bin capacity fraction ``D_hat``.
+        """
+        if num_bins < 4:
+            raise ValueError("need at least 4 bins per axis")
+        self.region = region
+        self.num_bins = num_bins
+        self.sizes = np.asarray(sizes, dtype=float)
+        self.target_density = target_density
+        self.bin_w = region.w / num_bins
+        self.bin_h = region.h / num_bins
+        self.bin_area = self.bin_w * self.bin_h
+        self.instance_area = np.prod(self.sizes, axis=1)
+        # Precompute the DCT Laplacian eigenvalues (Neumann boundary).
+        k = np.arange(num_bins)
+        wx = 2.0 * (1.0 - np.cos(np.pi * k / num_bins)) / (self.bin_w ** 2)
+        wy = 2.0 * (1.0 - np.cos(np.pi * k / num_bins)) / (self.bin_h ** 2)
+        denom = wx[:, None] + wy[None, :]
+        denom[0, 0] = 1.0  # DC mode removed separately
+        self._laplace_denom = denom
+        # Group instances by identical footprint for vectorised windows.
+        self._groups: List[Tuple[np.ndarray, int, int]] = []
+        seen: Dict[Tuple[float, float], List[int]] = {}
+        for i, (w, h) in enumerate(self.sizes):
+            seen.setdefault((round(w, 9), round(h, 9)), []).append(i)
+        for (w, h), idxs in sorted(seen.items()):
+            win_x = int(np.ceil(w / self.bin_w)) + 1
+            win_y = int(np.ceil(h / self.bin_h)) + 1
+            self._groups.append((np.array(idxs, dtype=np.int64), win_x, win_y))
+
+    # -- rasterisation ---------------------------------------------------------
+
+    def _window_overlaps(self, idxs: np.ndarray, positions: np.ndarray,
+                         win_x: int, win_y: int):
+        """Clipped overlap lengths of each instance with its bin window.
+
+        Returns ``(ix0, iy0, ox, oy)`` where ``ox`` is ``(g, win_x)`` of
+        x-overlap lengths starting at bin column ``ix0`` (likewise y).
+        """
+        half = self.sizes[idxs] / 2.0
+        x1 = positions[idxs, 0] - half[:, 0] - self.region.x
+        y1 = positions[idxs, 1] - half[:, 1] - self.region.y
+        x2 = x1 + self.sizes[idxs, 0]
+        y2 = y1 + self.sizes[idxs, 1]
+        ix0 = np.floor(x1 / self.bin_w).astype(np.int64)
+        iy0 = np.floor(y1 / self.bin_h).astype(np.int64)
+        cols = ix0[:, None] + np.arange(win_x)[None, :]
+        rows = iy0[:, None] + np.arange(win_y)[None, :]
+        edge_x = cols * self.bin_w
+        edge_y = rows * self.bin_h
+        ox = np.clip(np.minimum(x2[:, None], edge_x + self.bin_w)
+                     - np.maximum(x1[:, None], edge_x), 0.0, None)
+        oy = np.clip(np.minimum(y2[:, None], edge_y + self.bin_h)
+                     - np.maximum(y1[:, None], edge_y), 0.0, None)
+        cols = np.clip(cols, 0, self.num_bins - 1)
+        rows = np.clip(rows, 0, self.num_bins - 1)
+        return cols, rows, ox, oy
+
+    def rasterize(self, positions: np.ndarray) -> np.ndarray:
+        """Area-per-bin density map for the given positions."""
+        rho = np.zeros((self.num_bins, self.num_bins))
+        for idxs, win_x, win_y in self._groups:
+            cols, rows, ox, oy = self._window_overlaps(idxs, positions, win_x, win_y)
+            weights = ox[:, :, None] * oy[:, None, :]  # (g, win_x, win_y)
+            flat = (cols[:, :, None] * self.num_bins + rows[:, None, :])
+            np.add.at(rho.ravel(), flat.ravel(), weights.ravel())
+        return rho
+
+    # -- field solve -------------------------------------------------------------
+
+    def solve_potential(self, rho: np.ndarray) -> np.ndarray:
+        """Solve ``laplace(psi) = -rho`` with Neumann boundaries via DCT."""
+        rho_hat = dctn(rho, type=2, norm="ortho")
+        psi_hat = rho_hat / self._laplace_denom
+        psi_hat[0, 0] = 0.0
+        return idctn(psi_hat, type=2, norm="ortho")
+
+    def evaluate(self, positions: np.ndarray) -> DensityResult:
+        """Density energy, gradient, and overflow at ``positions``."""
+        rho = self.rasterize(positions)
+        psi = self.solve_potential(rho)
+        # Electric field E = -grad(psi); np.gradient returns d/drow, d/dcol.
+        dpsi_dx, dpsi_dy = np.gradient(psi, self.bin_w, self.bin_h)
+        energy = float((rho * psi).sum())
+
+        grad = np.zeros_like(positions)
+        for idxs, win_x, win_y in self._groups:
+            cols, rows, ox, oy = self._window_overlaps(idxs, positions, win_x, win_y)
+            weights = ox[:, :, None] * oy[:, None, :]
+            gx = dpsi_dx[cols[:, :, None], rows[:, None, :]]
+            gy = dpsi_dy[cols[:, :, None], rows[:, None, :]]
+            grad[idxs, 0] = (weights * gx).sum(axis=(1, 2))
+            grad[idxs, 1] = (weights * gy).sum(axis=(1, 2))
+
+        capacity = self.bin_area * self.target_density
+        total_area = float(self.instance_area.sum())
+        overflow = float(np.clip(rho - capacity, 0.0, None).sum() / max(total_area, 1e-12))
+        return DensityResult(energy=energy, grad=grad,
+                             overflow=overflow, density=rho)

@@ -1,0 +1,170 @@
+"""Frequency-aware electrostatic global placement (Sec. IV-C1, Eq. 14).
+
+Minimises the penalty objective
+
+``min_x  WL(x) + lambda_d * D(x) + lambda_f * F(x)``
+
+with a multiplicative schedule on both multipliers: early iterations
+optimise area (wirelength) almost alone; as the penalties grow the
+instances spread until the density overflow drops below the target
+(Eq. 14's "seamless shift from area minimisation to constraint
+balance").  ``lambda_f = 0`` turns the engine into the Classic baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .config import PlacerConfig
+from .density import DensityGrid
+from .frequency_force import frequency_energy_and_grad
+from .optimizer import NesterovOptimizer
+from .preprocess import PlacementProblem
+from .wirelength import hpwl, wirelength_and_grad
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration telemetry of the global placer."""
+
+    iteration: int
+    objective: float
+    wirelength: float
+    density_energy: float
+    frequency_energy: float
+    overflow: float
+    lambda_density: float
+    lambda_freq: float
+
+
+@dataclass
+class GlobalPlaceResult:
+    """Output of the global placement stage.
+
+    Attributes:
+        positions: Final ``(n, 2)`` instance centres (not yet legal).
+        history: Per-iteration statistics.
+        converged: True when the overflow target was reached.
+    """
+
+    positions: np.ndarray
+    history: List[IterationStats]
+    converged: bool
+
+    @property
+    def iterations(self) -> int:
+        """Number of optimizer iterations executed."""
+        return len(self.history)
+
+    @property
+    def final_overflow(self) -> float:
+        """Density overflow at the final iterate."""
+        return self.history[-1].overflow if self.history else float("inf")
+
+
+class GlobalPlacer:
+    """Runs Eq. (14) on one :class:`PlacementProblem`."""
+
+    def __init__(self, problem: PlacementProblem,
+                 config: Optional[PlacerConfig] = None) -> None:
+        self.problem = problem
+        self.config = config if config is not None else problem.config
+        self.density = DensityGrid(
+            region=problem.region,
+            num_bins=self.config.num_bins,
+            sizes=problem.inflated_sizes(),
+            target_density=self.config.target_density,
+        )
+        self._lambda_density = 0.0
+        self._lambda_freq = 0.0
+        self._last_overflow = 1.0
+        self._last_parts: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    # -- objective ---------------------------------------------------------------
+
+    def _objective(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
+        cfg = self.config
+        wl, wl_grad = wirelength_and_grad(
+            positions, self.problem.nets, cfg.wirelength_smoothing_mm)
+        dens = self.density.evaluate(positions)
+        value = wl + self._lambda_density * dens.energy
+        grad = wl_grad + self._lambda_density * dens.grad
+        freq_energy = 0.0
+        if cfg.frequency_aware and self.problem.collision_pairs.size:
+            freq_energy, freq_grad = frequency_energy_and_grad(
+                positions, self.problem.collision_pairs,
+                cfg.freq_force_smoothing_mm)
+            value += self._lambda_freq * freq_energy
+            grad = grad + self._lambda_freq * freq_grad
+        self._last_overflow = dens.overflow
+        self._last_parts = (wl, dens.energy, freq_energy)
+        return value, grad
+
+    def _project(self, positions: np.ndarray) -> np.ndarray:
+        """Clamp every centre into the placement region."""
+        region = self.problem.region
+        half = self.problem.sizes / 2.0
+        out = positions.copy()
+        out[:, 0] = np.clip(out[:, 0], region.x + half[:, 0], region.x2 - half[:, 0])
+        out[:, 1] = np.clip(out[:, 1], region.y + half[:, 1], region.y2 - half[:, 1])
+        return out
+
+    def _initial_multipliers(self, positions: np.ndarray) -> None:
+        """Balance gradient magnitudes (the ePlace initialisation)."""
+        cfg = self.config
+        _, wl_grad = wirelength_and_grad(
+            positions, self.problem.nets, cfg.wirelength_smoothing_mm)
+        dens = self.density.evaluate(positions)
+        wl_norm = float(np.abs(wl_grad).sum())
+        dens_norm = float(np.abs(dens.grad).sum())
+        self._lambda_density = wl_norm / max(dens_norm, 1e-12) * 0.5
+        if cfg.frequency_aware and self.problem.collision_pairs.size:
+            _, freq_grad = frequency_energy_and_grad(
+                positions, self.problem.collision_pairs,
+                cfg.freq_force_smoothing_mm)
+            freq_norm = float(np.abs(freq_grad).sum())
+            self._lambda_freq = (cfg.initial_freq_weight * wl_norm
+                                 / max(freq_norm, 1e-12))
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self) -> GlobalPlaceResult:
+        """Execute the penalty schedule until the overflow target."""
+        cfg = self.config
+        positions = self._project(self.problem.initial_positions.copy())
+        self._initial_multipliers(positions)
+        max_move = max(self.density.bin_w, self.density.bin_h)
+        optimizer = NesterovOptimizer(
+            objective=self._objective,
+            x0=positions,
+            max_move=max_move,
+            project=self._project,
+        )
+        history: List[IterationStats] = []
+        converged = False
+        for it in range(cfg.max_iterations):
+            state = optimizer.step()
+            wl, dens_energy, freq_energy = self._last_parts
+            history.append(IterationStats(
+                iteration=it,
+                objective=state.value,
+                wirelength=wl,
+                density_energy=dens_energy,
+                frequency_energy=freq_energy,
+                overflow=self._last_overflow,
+                lambda_density=self._lambda_density,
+                lambda_freq=self._lambda_freq,
+            ))
+            self._lambda_density *= cfg.lambda_density_multiplier
+            self._lambda_freq *= cfg.lambda_freq_multiplier
+            if it >= cfg.min_iterations and self._last_overflow <= cfg.overflow_target:
+                converged = True
+                break
+        return GlobalPlaceResult(
+            positions=self._project(optimizer.x),
+            history=history,
+            converged=converged,
+        )

@@ -1,0 +1,41 @@
+"""Crosstalk analysis: spatial violations, hotspots, noise, fidelity."""
+
+from .fidelity import (
+    FidelityBreakdown,
+    average_program_fidelity,
+    estimate_program_fidelity,
+)
+from .hotspots import HotspotPair, HotspotReport, hotspot_report
+from .noise_model import (
+    NoiseParams,
+    crosstalk_error,
+    decoherence_error,
+    gate_error_factor,
+)
+from .violations import (
+    KIND_QQ,
+    KIND_QR,
+    KIND_RR,
+    SpatialViolation,
+    count_by_kind,
+    find_spatial_violations,
+)
+
+__all__ = [
+    "FidelityBreakdown",
+    "HotspotPair",
+    "HotspotReport",
+    "KIND_QQ",
+    "KIND_QR",
+    "KIND_RR",
+    "NoiseParams",
+    "SpatialViolation",
+    "average_program_fidelity",
+    "count_by_kind",
+    "crosstalk_error",
+    "decoherence_error",
+    "estimate_program_fidelity",
+    "find_spatial_violations",
+    "gate_error_factor",
+    "hotspot_report",
+]

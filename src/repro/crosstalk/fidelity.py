@@ -1,0 +1,154 @@
+"""Program-fidelity estimation (Eq. 15 of the paper).
+
+``F = prod_q (1 - eps_q) * prod_g (1 - eps_g) * prod_r (1 - eps_r)``
+
+Only *actively engaged* components count (Sec. V-C): the qubits touched
+by the mapped circuit and the resonators whose couplers carry two-qubit
+gates.  Crosstalk terms apply to spatially violating pairs where both
+members are active; the exposure time is the circuit duration (worst
+case).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..circuits.mapping import MappedCircuit
+from ..devices.components import Qubit, ResonatorSegment
+from ..devices.layout import Layout
+from .noise_model import NoiseParams, crosstalk_error, decoherence_error
+from .violations import SpatialViolation, find_spatial_violations
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class FidelityBreakdown:
+    """Program fidelity with its multiplicative factors.
+
+    Attributes:
+        total: Overall program fidelity ``F``.
+        gate_factor: Product of (1 - gate error) over all timed gates.
+        decoherence_factor: Product over active qubits of exp(-t Gamma).
+        qubit_crosstalk_factor: Product over active qq violations.
+        resonator_crosstalk_factor: Product over active rr violations.
+        active_qubits: Number of active physical qubits.
+        active_resonators: Number of active resonators.
+        crosstalk_pairs: Number of active violating pairs contributing.
+    """
+
+    total: float
+    gate_factor: float
+    decoherence_factor: float
+    qubit_crosstalk_factor: float
+    resonator_crosstalk_factor: float
+    active_qubits: int
+    active_resonators: int
+    crosstalk_pairs: int
+
+
+def _active_resonator_indices(layout: Layout,
+                              active_edges: Set[Edge]) -> Set[int]:
+    """Resonator indices whose coupler edge carries two-qubit gates."""
+    if layout.netlist is None:
+        return set()
+    return {
+        r.index for r in layout.netlist.resonators
+        if r.endpoints in active_edges
+    }
+
+
+def _violation_is_active(layout: Layout, violation: SpatialViolation,
+                         active_qubits: Set[int],
+                         active_resonators: Set[int]) -> bool:
+    """True when at least one member of the pair is actively engaged.
+
+    Errors in inactive elements do not compromise the program (Sec. V-C),
+    but an *active* component resonantly coupled to an inactive neighbour
+    still leaks its excitation into it — the error belongs to the active
+    member, so one active member suffices.
+    """
+    for idx in (violation.i, violation.j):
+        inst = layout.instances[idx]
+        if isinstance(inst, Qubit) and inst.index in active_qubits:
+            return True
+        if (isinstance(inst, ResonatorSegment)
+                and inst.resonator_index in active_resonators):
+            return True
+    return False
+
+
+def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
+                              params: NoiseParams = NoiseParams(),
+                              violations: Optional[List[SpatialViolation]] = None
+                              ) -> FidelityBreakdown:
+    """Evaluate Eq. (15) for one mapped benchmark on one layout.
+
+    Args:
+        layout: The physical layout being scored.
+        mapped: A benchmark compiled onto the layout's topology.
+        params: Noise-model parameters.
+        violations: Precomputed spatial violations of ``layout``; pass
+            these when scoring many mappings against one layout.
+    """
+    if violations is None:
+        violations = find_spatial_violations(
+            layout, detuning_threshold_ghz=params.detuning_threshold_ghz)
+
+    duration = mapped.duration_ns
+    active_qubits = mapped.active_qubits
+    active_edges = mapped.active_edges
+    active_resonators = _active_resonator_indices(layout, active_edges)
+
+    # --- gate errors -----------------------------------------------------
+    n_single = sum(mapped.single_qubit_counts().values())
+    n_two = sum(mapped.two_qubit_counts().values())
+    gate_factor = ((1.0 - params.single_qubit_gate_error) ** n_single
+                   * (1.0 - params.two_qubit_gate_error) ** n_two)
+
+    # --- decoherence over the full duration for every active qubit --------
+    eps_dec = decoherence_error(duration, params)
+    decoherence_factor = (1.0 - eps_dec) ** len(active_qubits)
+
+    # --- crosstalk on violating active pairs ------------------------------
+    qq_factor = 1.0
+    rr_factor = 1.0
+    pair_count = 0
+    for v in violations:
+        if not _violation_is_active(layout, v, active_qubits, active_resonators):
+            continue
+        eps = crosstalk_error(v.g_ghz, duration, detuning_ghz=v.detuning_ghz)
+        pair_count += 1
+        if v.kind == "qq":
+            qq_factor *= (1.0 - eps)
+        else:
+            rr_factor *= (1.0 - eps)
+
+    total = gate_factor * decoherence_factor * qq_factor * rr_factor
+    return FidelityBreakdown(
+        total=total,
+        gate_factor=gate_factor,
+        decoherence_factor=decoherence_factor,
+        qubit_crosstalk_factor=qq_factor,
+        resonator_crosstalk_factor=rr_factor,
+        active_qubits=len(active_qubits),
+        active_resonators=len(active_resonators),
+        crosstalk_pairs=pair_count,
+    )
+
+
+def average_program_fidelity(layout: Layout,
+                             mappings: Sequence[MappedCircuit],
+                             params: NoiseParams = NoiseParams()) -> float:
+    """Mean fidelity across an evaluation-mapping set (Fig. 11 bars)."""
+    if not mappings:
+        raise ValueError("need at least one mapping")
+    violations = find_spatial_violations(
+        layout, detuning_threshold_ghz=params.detuning_threshold_ghz)
+    total = 0.0
+    for mapped in mappings:
+        total += estimate_program_fidelity(
+            layout, mapped, params, violations=violations).total
+    return total / len(mappings)

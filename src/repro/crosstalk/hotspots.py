@@ -1,0 +1,129 @@
+"""Frequency-hotspot proportion ``Ph`` and impacted qubits (Eq. 18).
+
+A *frequency hotspot* is a region where two instances sit closer than
+their required spacing **and** their detuning is below ``Delta_c``.
+Eq. (18) aggregates hotspots into a dimensionless proportion:
+
+``Ph = sum_{i,j} (p_i ∩ p_j) * dc(p_i, p_j) * tau(w_i, w_j, Delta_c) / Apoly``
+
+where ``p_i ∩ p_j`` is the facing length of the (padded) footprints,
+``dc`` the centroid distance, and ``tau`` the resonance indicator.  The
+paper reports ``Ph`` in percent (Fig. 12 bottom, Fig. 15 bottom).
+
+The *impacted qubits* count (Fig. 12 middle) captures the non-local
+nature of resonator crosstalk: a hotspot between two resonators affects
+every qubit those resonators touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from .. import constants
+from ..devices.components import Qubit, ResonatorSegment
+from ..devices.geometry import adjacency_length
+from ..devices.layout import Layout
+from .violations import SpatialViolation, find_spatial_violations
+
+
+@dataclass(frozen=True)
+class HotspotPair:
+    """One resonant, spatially violating instance pair.
+
+    Attributes:
+        i, j: Layout instance indices (i < j).
+        facing_mm: Facing length of the padded footprints.
+        centroid_distance_mm: Distance between footprint centroids.
+        contribution: This pair's numerator term of Eq. (18).
+    """
+
+    i: int
+    j: int
+    facing_mm: float
+    centroid_distance_mm: float
+    contribution: float
+
+
+@dataclass
+class HotspotReport:
+    """Full Eq. (18) evaluation of one layout.
+
+    Attributes:
+        ph: Hotspot proportion as a *fraction* (multiply by 100 for the
+            paper's percent values).
+        pairs: Individual hotspot pairs.
+        impacted_qubits: Topology indices of qubits touched by hotspots,
+            directly or through an affected resonator.
+        apoly: The normalising polygon area used.
+    """
+
+    ph: float
+    pairs: List[HotspotPair]
+    impacted_qubits: Set[int]
+    apoly: float
+
+    @property
+    def ph_percent(self) -> float:
+        """Hotspot proportion in percent (paper's reporting unit)."""
+        return 100.0 * self.ph
+
+    @property
+    def num_hotspots(self) -> int:
+        """Number of resonant violating pairs."""
+        return len(self.pairs)
+
+    @property
+    def num_impacted_qubits(self) -> int:
+        """Impacted-qubit count (Fig. 12 middle panel)."""
+        return len(self.impacted_qubits)
+
+
+def _impacted_from_pair(layout: Layout, i: int, j: int) -> Set[int]:
+    """Qubits affected by a hotspot pair (non-local resonator spread)."""
+    impacted: Set[int] = set()
+    endpoints = {}
+    if layout.netlist is not None:
+        endpoints = {r.index: r.endpoints for r in layout.netlist.resonators}
+    for idx in (i, j):
+        inst = layout.instances[idx]
+        if isinstance(inst, Qubit):
+            impacted.add(inst.index)
+        elif isinstance(inst, ResonatorSegment):
+            impacted.update(endpoints.get(inst.resonator_index, ()))
+    return impacted
+
+
+def hotspot_report(layout: Layout,
+                   detuning_threshold_ghz: float = constants.DETUNING_THRESHOLD_GHZ,
+                   violations: Optional[List[SpatialViolation]] = None
+                   ) -> HotspotReport:
+    """Evaluate Eq. (18) on a layout.
+
+    Args:
+        layout: Placed layout to score.
+        detuning_threshold_ghz: Resonance threshold ``Delta_c``.
+        violations: Precomputed spatial violations (recomputed if None).
+    """
+    if violations is None:
+        violations = find_spatial_violations(
+            layout, detuning_threshold_ghz=detuning_threshold_ghz)
+    apoly = layout.apoly()
+    pairs: List[HotspotPair] = []
+    impacted: Set[int] = set()
+    for v in violations:
+        if not v.resonant:
+            continue
+        pi = layout.padded_rect(v.i)
+        pj = layout.padded_rect(v.j)
+        facing = adjacency_length(pi, pj)
+        dc = pi.centroid_distance(pj)
+        pairs.append(HotspotPair(
+            i=v.i, j=v.j, facing_mm=facing,
+            centroid_distance_mm=dc,
+            contribution=facing * dc))
+        impacted.update(_impacted_from_pair(layout, v.i, v.j))
+    total = sum(p.contribution for p in pairs)
+    ph = total / apoly if apoly > 0 else 0.0
+    return HotspotReport(ph=ph, pairs=pairs,
+                         impacted_qubits=impacted, apoly=apoly)

@@ -1,0 +1,178 @@
+"""Spatial-violation detection (Sec. III / Sec. V-C metrics).
+
+Two components *violate spatial constraints* when the Euclidean
+edge-to-edge gap of their bare footprints is smaller than the sum of
+their paddings (the paper's minimum-distance rule, Sec. IV-B1).  Each
+violation carries the physics needed by the noise model: the bare gap,
+the facing (adjacent) length, the detuning, and the resulting parasitic
+coupling strengths ``g`` and ``g_eff``.
+
+Intended couplings are excluded:
+
+* sibling segments of one resonator (they *must* cluster, Eq. 10);
+* a qubit and the segments of a resonator attached to that qubit (they
+  must abut to form the coupler connection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .. import constants
+from ..devices.components import Instance, Qubit, ResonatorSegment, same_resonator
+from ..devices.geometry import Rect
+from ..devices.layout import Layout
+from ..physics.capacitance import (
+    qubit_parasitic_capacitance_ff,
+    resonator_parasitic_capacitance_ff,
+)
+from ..physics.coupling import (
+    effective_coupling_ghz,
+    qubit_qubit_coupling_ghz,
+    resonator_resonator_coupling_ghz,
+)
+
+#: Violation kinds: qubit-qubit, resonator-resonator, qubit-resonator.
+KIND_QQ = "qq"
+KIND_RR = "rr"
+KIND_QR = "qr"
+
+
+@dataclass(frozen=True)
+class SpatialViolation:
+    """One pair of components closer than their required spacing.
+
+    Attributes:
+        i, j: Instance indices in the layout (i < j).
+        kind: One of ``"qq"``, ``"rr"``, ``"qr"``.
+        gap_mm: Edge-to-edge gap between the bare footprints.
+        facing_mm: Adjacent (facing) length between the footprints.
+        detuning_ghz: ``|wi - wj|``.
+        g_ghz: Parasitic coupling strength at this gap.
+        g_eff_ghz: Effective coupling after detuning (Eq. 4/5).
+        resonant: True when the detuning is within ``Delta_c``.
+    """
+
+    i: int
+    j: int
+    kind: str
+    gap_mm: float
+    facing_mm: float
+    detuning_ghz: float
+    g_ghz: float
+    g_eff_ghz: float
+    resonant: bool
+
+
+def _facing_length(a: Rect, b: Rect) -> float:
+    """Length over which two rectangles face each other (projection overlap)."""
+    return max(a.overlap_x(b), a.overlap_y(b))
+
+
+def _classify(a: Instance, b: Instance) -> str:
+    a_is_q = isinstance(a, Qubit)
+    b_is_q = isinstance(b, Qubit)
+    if a_is_q and b_is_q:
+        return KIND_QQ
+    if not a_is_q and not b_is_q:
+        return KIND_RR
+    return KIND_QR
+
+
+def _is_intended_pair(a: Instance, b: Instance,
+                      attached: Optional[Dict[int, Set[int]]]) -> bool:
+    """True for pairs that are supposed to be adjacent (not crosstalk)."""
+    if same_resonator(a, b):
+        return True
+    if attached is None:
+        return False
+    qubit, segment = None, None
+    if isinstance(a, Qubit) and isinstance(b, ResonatorSegment):
+        qubit, segment = a, b
+    elif isinstance(b, Qubit) and isinstance(a, ResonatorSegment):
+        qubit, segment = b, a
+    if qubit is None:
+        return False
+    return segment.resonator_index in attached.get(qubit.index, set())
+
+
+def attached_resonators_by_qubit(layout: Layout) -> Optional[Dict[int, Set[int]]]:
+    """Map qubit index -> indices of resonators attached to it."""
+    if layout.netlist is None:
+        return None
+    attached: Dict[int, Set[int]] = {}
+    for resonator in layout.netlist.resonators:
+        for q in resonator.endpoints:
+            attached.setdefault(q, set()).add(resonator.index)
+    return attached
+
+
+def _pair_physics(a: Instance, b: Instance, gap_mm: float, facing_mm: float,
+                  detuning_threshold_ghz: float) -> Tuple[float, float, float, bool]:
+    """Compute (detuning, g, g_eff, resonant) for one violating pair."""
+    detuning = abs(a.frequency - b.frequency)
+    kind = _classify(a, b)
+    if kind == KIND_QQ:
+        cp = qubit_parasitic_capacitance_ff(gap_mm)
+        g = qubit_qubit_coupling_ghz(a.frequency, b.frequency, cp)
+    elif kind == KIND_RR:
+        cp = resonator_parasitic_capacitance_ff(gap_mm, max(facing_mm, 1e-3))
+        g = resonator_resonator_coupling_ghz(a.frequency, b.frequency, cp)
+    else:
+        cp = resonator_parasitic_capacitance_ff(gap_mm, max(facing_mm, 1e-3))
+        qubit, other = (a, b) if isinstance(a, Qubit) else (b, a)
+        g = qubit_qubit_coupling_ghz(
+            qubit.frequency, other.frequency, cp,
+            constants.QUBIT_CAPACITANCE_FF, constants.RESONATOR_CAPACITANCE_FF)
+    g_eff = effective_coupling_ghz(g, detuning, detuning_threshold_ghz)
+    resonant = detuning <= detuning_threshold_ghz
+    return detuning, g, g_eff, resonant
+
+
+def find_spatial_violations(layout: Layout,
+                            detuning_threshold_ghz: float = constants.DETUNING_THRESHOLD_GHZ,
+                            include_qr: bool = True) -> List[SpatialViolation]:
+    """All spatial violations in a layout.
+
+    A pair violates when the padded footprints intersect with positive
+    area.  Intended-adjacency pairs (sibling segments; a resonator's
+    segments against its own endpoint qubits) are skipped.
+
+    Args:
+        layout: The placed layout.
+        detuning_threshold_ghz: Resonance threshold ``Delta_c``.
+        include_qr: Also report qubit-resonator violations (these are
+            deeply detuned and mostly informational).
+    """
+    attached = attached_resonators_by_qubit(layout)
+    violations: List[SpatialViolation] = []
+    bare = layout.rects()
+    tol = 1e-6
+    for i, j, _gap in layout.neighbor_pairs(cutoff_mm=0.0, padded=True):
+        required = layout.instances[i].padding + layout.instances[j].padding
+        if bare[i].gap(bare[j]) >= required - tol:
+            continue  # Euclidean spacing satisfies the padding sum
+        a, b = layout.instances[i], layout.instances[j]
+        if _is_intended_pair(a, b, attached):
+            continue
+        kind = _classify(a, b)
+        if kind == KIND_QR and not include_qr:
+            continue
+        gap = bare[i].gap(bare[j])
+        facing = _facing_length(bare[i], bare[j])
+        detuning, g, g_eff, resonant = _pair_physics(
+            a, b, gap, facing, detuning_threshold_ghz)
+        violations.append(SpatialViolation(
+            i=i, j=j, kind=kind, gap_mm=gap, facing_mm=facing,
+            detuning_ghz=detuning, g_ghz=g, g_eff_ghz=g_eff,
+            resonant=resonant))
+    return violations
+
+
+def count_by_kind(violations: List[SpatialViolation]) -> Dict[str, int]:
+    """Histogram of violations by kind."""
+    counts = {KIND_QQ: 0, KIND_RR: 0, KIND_QR: 0}
+    for v in violations:
+        counts[v.kind] += 1
+    return counts

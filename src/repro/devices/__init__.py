@@ -1,0 +1,75 @@
+"""Device substrate: geometry, components, topologies, netlists, layouts."""
+
+from .components import Instance, Qubit, Resonator, ResonatorSegment, same_resonator
+from .disorder import apply_frequency_disorder, disordered_layout
+from .frequency import (
+    FrequencyPlan,
+    assign_frequencies,
+    frequency_levels,
+    qubit_conflict_graph,
+    resonator_conflict_graph,
+)
+from .geometry import (
+    Rect,
+    adjacency_length,
+    area_utilization,
+    has_overlaps,
+    minimum_enclosing_rect,
+    total_polygon_area,
+)
+from .layout import Layout
+from .netlist import QuantumNetlist, build_netlist
+from .topology import (
+    PAPER_TOPOLOGY_ORDER,
+    TOPOLOGY_FACTORIES,
+    TOPOLOGY_LABELS,
+    Topology,
+    all_paper_topologies,
+    aspen11_topology,
+    aspen_m_topology,
+    eagle_topology,
+    falcon_topology,
+    get_topology,
+    grid_topology,
+    heavy_hex_lattice,
+    octagon_topology,
+    xtree_topology,
+)
+
+__all__ = [
+    "Instance",
+    "Layout",
+    "FrequencyPlan",
+    "PAPER_TOPOLOGY_ORDER",
+    "QuantumNetlist",
+    "Qubit",
+    "Rect",
+    "Resonator",
+    "ResonatorSegment",
+    "TOPOLOGY_FACTORIES",
+    "TOPOLOGY_LABELS",
+    "Topology",
+    "adjacency_length",
+    "all_paper_topologies",
+    "apply_frequency_disorder",
+    "area_utilization",
+    "aspen11_topology",
+    "aspen_m_topology",
+    "assign_frequencies",
+    "build_netlist",
+    "disordered_layout",
+    "eagle_topology",
+    "falcon_topology",
+    "frequency_levels",
+    "get_topology",
+    "grid_topology",
+    "has_overlaps",
+    "heavy_hex_lattice",
+    "minimum_enclosing_rect",
+    "octagon_topology",
+    "qubit_conflict_graph",
+    "resonator_conflict_graph",
+    "same_resonator",
+    "total_polygon_area",
+    "xtree_topology",
+]

@@ -1,0 +1,115 @@
+"""Fabrication frequency disorder (Sec. V-C: "realistic variation in
+fabrication").
+
+Fixed-frequency transmons cannot be tuned after fabrication, and junction
+variability scatters the realised frequency around its design target by
+tens of MHz.  The paper motivates its aggressive padding with exactly
+this variation; this module makes it explicit:
+
+* :func:`apply_frequency_disorder` perturbs every component frequency of
+  a netlist with seeded Gaussian scatter (clipped to the allowed band);
+* :func:`disordered_layout` re-evaluates an *existing* layout under a
+  disorder realisation — the placement is frozen (a fab chip cannot be
+  re-placed), only the frequencies move, so hotspots can appear where
+  the design had margin.
+
+The robustness experiment in :mod:`repro.analysis.ablation` sweeps the
+scatter amplitude and reports how fast each placement strategy's hotspot
+proportion degrades.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import constants
+from .components import Qubit, Resonator
+from .frequency import FrequencyPlan
+from .layout import Layout
+from .netlist import QuantumNetlist
+
+
+def scatter_frequencies(values: np.ndarray, sigma_ghz: float,
+                        band: Tuple[float, float],
+                        rng: np.random.Generator) -> np.ndarray:
+    """Gaussian scatter clipped into the allowed band."""
+    if sigma_ghz < 0:
+        raise ValueError("scatter amplitude must be non-negative")
+    noisy = values + rng.normal(0.0, sigma_ghz, size=values.shape)
+    return np.clip(noisy, band[0], band[1])
+
+
+def apply_frequency_disorder(netlist: QuantumNetlist,
+                             sigma_qubit_ghz: float = 0.02,
+                             sigma_resonator_ghz: float = 0.01,
+                             seed: int = 0,
+                             qubit_band: Tuple[float, float] = constants.QUBIT_FREQ_BAND_GHZ,
+                             resonator_band: Tuple[float, float] = constants.RESONATOR_FREQ_BAND_GHZ
+                             ) -> QuantumNetlist:
+    """A new netlist whose component frequencies carry fab scatter.
+
+    The original netlist is untouched; the returned one shares the
+    topology but owns perturbed component objects and plan.
+    """
+    rng = np.random.default_rng(seed)
+    qubit_targets = np.array([q.frequency for q in netlist.qubits])
+    resonator_targets = np.array([r.frequency for r in netlist.resonators])
+    qubit_real = scatter_frequencies(qubit_targets, sigma_qubit_ghz,
+                                     qubit_band, rng)
+    resonator_real = scatter_frequencies(resonator_targets,
+                                         sigma_resonator_ghz,
+                                         resonator_band, rng)
+    qubits = [
+        Qubit(name=q.name, width=q.width, height=q.height, padding=q.padding,
+              frequency=float(f), index=q.index, capacitance=q.capacitance,
+              anharmonicity=q.anharmonicity)
+        for q, f in zip(netlist.qubits, qubit_real)
+    ]
+    resonators = [
+        Resonator(name=r.name, index=r.index, endpoints=r.endpoints,
+                  frequency=float(f), pitch=r.pitch,
+                  capacitance=r.capacitance)
+        for r, f in zip(netlist.resonators, resonator_real)
+    ]
+    plan = FrequencyPlan(
+        qubit_freq_ghz={q.index: q.frequency for q in qubits},
+        resonator_freq_ghz={r.endpoints: r.frequency for r in resonators},
+        qubit_levels=netlist.plan.qubit_levels,
+        resonator_levels=netlist.plan.resonator_levels,
+        unresolved_qubit_pairs=list(netlist.plan.unresolved_qubit_pairs),
+        unresolved_resonator_pairs=list(netlist.plan.unresolved_resonator_pairs),
+    )
+    return QuantumNetlist(topology=netlist.topology, plan=plan,
+                          qubits=qubits, resonators=resonators)
+
+
+def disordered_layout(layout: Layout, sigma_qubit_ghz: float = 0.02,
+                      sigma_resonator_ghz: float = 0.01,
+                      seed: int = 0) -> Layout:
+    """Re-evaluate a frozen layout under one disorder realisation.
+
+    Positions are kept; every instance is replaced by a copy at its
+    resonator's / qubit's perturbed frequency, so the crosstalk metrics
+    can be recomputed on the as-fabricated chip.
+    """
+    if layout.netlist is None:
+        raise ValueError("layout must carry its netlist")
+    noisy_netlist = apply_frequency_disorder(
+        layout.netlist, sigma_qubit_ghz, sigma_resonator_ghz, seed)
+    qubit_freq = {q.index: q.frequency for q in noisy_netlist.qubits}
+    resonator_freq = {r.index: r.frequency for r in noisy_netlist.resonators}
+
+    from dataclasses import replace
+    instances = []
+    for inst in layout.instances:
+        if isinstance(inst, Qubit):
+            instances.append(replace(inst, frequency=qubit_freq[inst.index]))
+        else:
+            instances.append(replace(
+                inst, frequency=resonator_freq[inst.resonator_index]))
+    return Layout(instances=instances,
+                  positions=layout.positions.copy(),
+                  netlist=noisy_netlist,
+                  strategy=f"{layout.strategy}+disorder")

@@ -1,0 +1,151 @@
+"""Minimal GDSII stream writer (the Fig. 14-c export path).
+
+The paper exports its optimised layout prototypes to GDSII via Qiskit
+Metal; this module provides an equivalent, dependency-free binary GDSII
+writer covering exactly what a placement export needs: one structure
+containing one BOUNDARY (rectangle) per instance, with qubit pockets on
+layer 1 and resonator reservations on layer 2.
+
+The writer emits the standard record stream (HEADER, BGNLIB, LIBNAME,
+UNITS, BGNSTR, STRNAME, BOUNDARY*, ENDSTR, ENDLIB) with 4-byte signed
+coordinates in database units of 1 nm — readable by KLayout/gdstk.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import List, Union
+
+from ..devices.components import Qubit
+from ..devices.geometry import Rect
+from ..devices.layout import Layout
+
+PathLike = Union[str, Path]
+
+#: GDSII record types used by the writer.
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+_ENDLIB = 0x0400
+
+#: Database unit: 1 nm expressed in metres.
+_DB_UNIT_M = 1e-9
+#: User unit: 1 um in database units.
+_UM_IN_DB = 1000
+
+#: GDS layer assignments.
+LAYER_QUBIT = 1
+LAYER_RESONATOR = 2
+
+
+def _record(rectype: int, payload: bytes = b"") -> bytes:
+    """One GDSII record: 2-byte length, 2-byte type, payload."""
+    length = 4 + len(payload)
+    if length % 2:
+        payload += b"\0"
+        length += 1
+    return struct.pack(">HH", length, rectype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\0"
+    return data
+
+
+def _gds_real8(value: float) -> bytes:
+    """Encode an 8-byte GDSII excess-64 real."""
+    if value == 0:
+        return b"\0" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">BB", sign | exponent, (mantissa >> 48) & 0xFF) + \
+        struct.pack(">HI", (mantissa >> 32) & 0xFFFF, mantissa & 0xFFFFFFFF)
+
+
+def _timestamp_words() -> bytes:
+    """A fixed (deterministic) GDSII timestamp: 2024-01-01 00:00:00 twice."""
+    stamp = struct.pack(">6h", 2024, 1, 1, 0, 0, 0)
+    return stamp + stamp
+
+
+def _rect_xy(rect: Rect) -> bytes:
+    """Closed 5-point boundary of a rectangle, in nm database units."""
+    def db(v_mm: float) -> int:
+        return int(round(v_mm * 1000.0 * _UM_IN_DB))
+
+    points = [
+        (db(rect.x), db(rect.y)),
+        (db(rect.x2), db(rect.y)),
+        (db(rect.x2), db(rect.y2)),
+        (db(rect.x), db(rect.y2)),
+        (db(rect.x), db(rect.y)),
+    ]
+    return b"".join(struct.pack(">ii", x, y) for x, y in points)
+
+
+def layout_to_gds_bytes(layout: Layout, structure_name: str = "QPLACER") -> bytes:
+    """Serialise a layout to a GDSII byte stream."""
+    chunks: List[bytes] = [
+        _record(_HEADER, struct.pack(">h", 600)),
+        _record(_BGNLIB, _timestamp_words()),
+        _record(_LIBNAME, _ascii("REPRO.DB")),
+        # UNITS: database unit in user units (1 nm = 0.001 um), then in m.
+        _record(_UNITS, _gds_real8(1e-3) + _gds_real8(_DB_UNIT_M)),
+        _record(_BGNSTR, _timestamp_words()),
+        _record(_STRNAME, _ascii(structure_name)),
+    ]
+    for i, inst in enumerate(layout.instances):
+        layer = LAYER_QUBIT if isinstance(inst, Qubit) else LAYER_RESONATOR
+        chunks.extend([
+            _record(_BOUNDARY),
+            _record(_LAYER, struct.pack(">h", layer)),
+            _record(_DATATYPE, struct.pack(">h", 0)),
+            _record(_XY, _rect_xy(layout.rect(i))),
+            _record(_ENDEL),
+        ])
+    chunks.append(_record(_ENDSTR))
+    chunks.append(_record(_ENDLIB))
+    return b"".join(chunks)
+
+
+def save_gds(layout: Layout, path: PathLike,
+             structure_name: str = "QPLACER") -> None:
+    """Write a layout to a ``.gds`` file."""
+    Path(path).write_bytes(layout_to_gds_bytes(layout, structure_name))
+
+
+def parse_gds_records(data: bytes) -> List[int]:
+    """Record-type sequence of a GDSII stream (round-trip validation)."""
+    types: List[int] = []
+    offset = 0
+    while offset + 4 <= len(data):
+        length, rectype = struct.unpack(">HH", data[offset:offset + 4])
+        if length < 4:
+            raise ValueError(f"corrupt GDS record at offset {offset}")
+        types.append(rectype)
+        offset += length
+        if rectype == _ENDLIB:
+            break
+    return types

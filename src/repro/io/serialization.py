@@ -1,0 +1,101 @@
+"""Layout and frequency-plan JSON round-trips.
+
+Layouts are stored with their topology name, segment size, strategy,
+frequency plan, and instance positions; loading rebuilds the netlist and
+placement problem deterministically and re-attaches the positions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..core.config import PlacerConfig
+from ..core.preprocess import build_problem
+from ..devices.frequency import FrequencyPlan
+from ..devices.layout import Layout
+from ..devices.netlist import build_netlist
+from ..devices.topology import get_topology
+
+PathLike = Union[str, Path]
+
+
+def plan_to_dict(plan: FrequencyPlan) -> Dict:
+    """Serialise a frequency plan (edge keys become ``"u-v"`` strings)."""
+    return {
+        "qubit_freq_ghz": {str(q): f for q, f in plan.qubit_freq_ghz.items()},
+        "resonator_freq_ghz": {f"{u}-{v}": f
+                               for (u, v), f in plan.resonator_freq_ghz.items()},
+        "qubit_levels": list(plan.qubit_levels),
+        "resonator_levels": list(plan.resonator_levels),
+        "unresolved_qubit_pairs": [list(p) for p in plan.unresolved_qubit_pairs],
+        "unresolved_resonator_pairs": [
+            [list(a), list(b)] for a, b in plan.unresolved_resonator_pairs],
+    }
+
+
+def plan_from_dict(data: Dict) -> FrequencyPlan:
+    """Inverse of :func:`plan_to_dict`."""
+    return FrequencyPlan(
+        qubit_freq_ghz={int(q): f for q, f in data["qubit_freq_ghz"].items()},
+        resonator_freq_ghz={
+            tuple(int(x) for x in key.split("-")): f
+            for key, f in data["resonator_freq_ghz"].items()
+        },
+        qubit_levels=list(data["qubit_levels"]),
+        resonator_levels=list(data["resonator_levels"]),
+        unresolved_qubit_pairs=[tuple(p) for p in data["unresolved_qubit_pairs"]],
+        unresolved_resonator_pairs=[
+            (tuple(a), tuple(b)) for a, b in data["unresolved_resonator_pairs"]],
+    )
+
+
+def layout_to_dict(layout: Layout, segment_size_mm: float) -> Dict:
+    """Serialise a layout produced from a registered topology.
+
+    Raises:
+        ValueError: when the layout has no netlist back-reference.
+    """
+    if layout.netlist is None:
+        raise ValueError("layout must carry its netlist to be serialised")
+    return {
+        "format": "repro.layout.v1",
+        "topology": layout.netlist.topology.name,
+        "segment_size_mm": segment_size_mm,
+        "strategy": layout.strategy,
+        "plan": plan_to_dict(layout.netlist.plan),
+        "instances": [inst.name for inst in layout.instances],
+        "positions": [[float(x), float(y)] for x, y in layout.positions],
+    }
+
+
+def layout_from_dict(data: Dict) -> Layout:
+    """Rebuild a layout from :func:`layout_to_dict` output."""
+    if data.get("format") != "repro.layout.v1":
+        raise ValueError(f"unsupported layout format {data.get('format')!r}")
+    topology = get_topology(data["topology"])
+    plan = plan_from_dict(data["plan"])
+    netlist = build_netlist(topology, plan=plan)
+    config = PlacerConfig(segment_size_mm=float(data["segment_size_mm"]))
+    problem = build_problem(netlist, config)
+    names = [inst.name for inst in problem.instances]
+    if names != list(data["instances"]):
+        raise ValueError("serialised instance list does not match rebuild; "
+                         "was the layout produced with different parameters?")
+    positions = np.array(data["positions"], dtype=float)
+    return Layout(instances=problem.instances, positions=positions,
+                  netlist=netlist, strategy=data["strategy"])
+
+
+def save_layout(layout: Layout, path: PathLike, segment_size_mm: float) -> None:
+    """Write a layout as JSON."""
+    Path(path).write_text(json.dumps(layout_to_dict(layout, segment_size_mm),
+                                     indent=1))
+
+
+def load_layout(path: PathLike) -> Layout:
+    """Read a layout JSON written by :func:`save_layout`."""
+    return layout_from_dict(json.loads(Path(path).read_text()))

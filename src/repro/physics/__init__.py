@@ -1,0 +1,64 @@
+"""Superconducting-circuit physics models underpinning the placer.
+
+Submodules:
+
+* :mod:`repro.physics.transmon` — transmon energy levels (EJ/EC).
+* :mod:`repro.physics.resonator_em` — half-wave CPW length/frequency.
+* :mod:`repro.physics.capacitance` — parasitic capacitance vs distance.
+* :mod:`repro.physics.coupling` — coupling strengths g, g_eff, chi.
+* :mod:`repro.physics.hamiltonian` — exact small JC/two-level models.
+* :mod:`repro.physics.substrate_modes` — TM110 box-mode constraint.
+"""
+
+from .capacitance import (
+    qubit_parasitic_capacitance_ff,
+    qubit_resonator_parasitic_capacitance_ff,
+    resonator_parasitic_capacitance_ff,
+)
+from .coupling import (
+    dispersive_shift_ghz,
+    effective_coupling_ghz,
+    qubit_pair_coupling_vs_distance_ghz,
+    qubit_qubit_coupling_ghz,
+    resonator_pair_coupling_vs_distance_ghz,
+    resonator_resonator_coupling_ghz,
+    smooth_exchange_ghz,
+)
+from .hamiltonian import (
+    eigensplitting_ghz,
+    excitation_swap_probability,
+    jaynes_cummings_hamiltonian,
+    worst_case_swap_probability,
+)
+from .resonator_em import resonator_frequency_ghz, resonator_length_mm
+from .substrate_modes import (
+    check_layout_against_box_modes,
+    max_substrate_side_mm,
+    tm110_frequency_ghz,
+)
+from .transmon import TransmonParams, charging_energy_ghz, qubit_frequency_ghz
+
+__all__ = [
+    "TransmonParams",
+    "charging_energy_ghz",
+    "check_layout_against_box_modes",
+    "dispersive_shift_ghz",
+    "effective_coupling_ghz",
+    "eigensplitting_ghz",
+    "excitation_swap_probability",
+    "jaynes_cummings_hamiltonian",
+    "max_substrate_side_mm",
+    "qubit_frequency_ghz",
+    "qubit_pair_coupling_vs_distance_ghz",
+    "qubit_parasitic_capacitance_ff",
+    "qubit_qubit_coupling_ghz",
+    "qubit_resonator_parasitic_capacitance_ff",
+    "resonator_frequency_ghz",
+    "resonator_length_mm",
+    "resonator_pair_coupling_vs_distance_ghz",
+    "resonator_parasitic_capacitance_ff",
+    "resonator_resonator_coupling_ghz",
+    "smooth_exchange_ghz",
+    "tm110_frequency_ghz",
+    "worst_case_swap_probability",
+]

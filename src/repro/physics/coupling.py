@@ -1,0 +1,140 @@
+"""Coupling-strength models (Sec. III, Eqs. 4--8 of the paper).
+
+All couplings are returned as plain frequencies ``g/2pi`` in GHz so they
+compare directly with qubit/resonator frequencies and detunings.
+
+Three interaction channels matter for crosstalk:
+
+* **qubit-qubit** capacitive coupling, Eq. (6):
+  ``g = (1/2) sqrt(w1 w2) Cp / sqrt((C1+Cp)(C2+Cp))``
+* **resonator-resonator** coupling, ``g ∝ Cp / sqrt(Cr1 Cr2)`` (Sec. III-B)
+* **qubit-resonator** dispersive shift ``chi = g^2 / |wr - wq|`` (Eq. 2/8)
+
+On resonance the full strength ``g`` applies (vacuum-Rabi regime, Eq. 4);
+far detuned the residual is ``g_eff = g^2 / Delta`` (Eq. 5).  The smooth
+interpolation ``g^2 / sqrt(Delta^2 + g^2)`` reproduces the Fig. 4/6-b
+curve shape: a Lorentzian-like peak of height ``g`` at resonance falling
+off as ``g^2/Delta`` in the wings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants
+from .capacitance import (
+    qubit_parasitic_capacitance_ff,
+    resonator_parasitic_capacitance_ff,
+)
+
+
+def qubit_qubit_coupling_ghz(freq1_ghz, freq2_ghz, cp_ff,
+                             c1_ff: float = constants.QUBIT_CAPACITANCE_FF,
+                             c2_ff: float = constants.QUBIT_CAPACITANCE_FF):
+    """Capacitive qubit-qubit coupling ``g`` (Eq. 6), in GHz.
+
+    Args:
+        freq1_ghz, freq2_ghz: Qubit frequencies (GHz).
+        cp_ff: Coupling (parasitic or intended) capacitance (fF).
+        c1_ff, c2_ff: Qubit shunt capacitances (fF).
+    """
+    f1 = np.asarray(freq1_ghz, dtype=float)
+    f2 = np.asarray(freq2_ghz, dtype=float)
+    cp = np.asarray(cp_ff, dtype=float)
+    if np.any(f1 <= 0) or np.any(f2 <= 0):
+        raise ValueError("qubit frequencies must be positive")
+    if np.any(cp < 0):
+        raise ValueError("coupling capacitance must be non-negative")
+    g = 0.5 * np.sqrt(f1 * f2) * cp / np.sqrt((c1_ff + cp) * (c2_ff + cp))
+    if np.isscalar(freq1_ghz) and np.isscalar(freq2_ghz) and np.isscalar(cp_ff):
+        return float(g)
+    return g
+
+
+def resonator_resonator_coupling_ghz(freq1_ghz, freq2_ghz, cp_ff,
+                                     cr1_ff: float = constants.RESONATOR_CAPACITANCE_FF,
+                                     cr2_ff: float = constants.RESONATOR_CAPACITANCE_FF):
+    """Capacitive resonator-resonator coupling ``g ∝ Cp/sqrt(Cr1 Cr2)``.
+
+    Uses the same normalisation as Eq. (6) with the resonator lumped
+    capacitances (paper ref. [70]).
+    """
+    return qubit_qubit_coupling_ghz(freq1_ghz, freq2_ghz, cp_ff, cr1_ff, cr2_ff)
+
+
+def effective_coupling_ghz(g_ghz, detuning_ghz,
+                           resonance_threshold_ghz: float = constants.DETUNING_THRESHOLD_GHZ):
+    """Piecewise effective coupling per Eqs. (4)/(5).
+
+    Returns the bare ``g`` when ``|Delta| <= threshold`` (resonant, energy
+    exchanging) and the dispersive residual ``g^2/|Delta|`` otherwise.
+    """
+    g = np.asarray(g_ghz, dtype=float)
+    delta = np.abs(np.asarray(detuning_ghz, dtype=float))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dispersive = np.where(delta > 0, g * g / np.where(delta > 0, delta, 1.0), g)
+    out = np.where(delta <= resonance_threshold_ghz, g, dispersive)
+    if np.isscalar(g_ghz) and np.isscalar(detuning_ghz):
+        return float(out)
+    return out
+
+
+def smooth_exchange_ghz(g_ghz, detuning_ghz):
+    """Smooth resonance curve ``g^2 / sqrt(Delta^2 + g^2)`` (Fig. 4 shape).
+
+    Peaks at ``g`` when ``Delta = 0`` and decays as ``g^2/Delta`` for
+    ``|Delta| >> g``; used for plotting/benchmarking the physics curves.
+    """
+    g = np.asarray(g_ghz, dtype=float)
+    delta = np.asarray(detuning_ghz, dtype=float)
+    out = g * g / np.sqrt(delta * delta + g * g)
+    if np.isscalar(g_ghz) and np.isscalar(detuning_ghz):
+        return float(out)
+    return out
+
+
+def dispersive_shift_ghz(g_ghz, qubit_freq_ghz, resonator_freq_ghz):
+    """Qubit-resonator dispersive shift ``chi = g^2 / |wr - wq|`` (Eq. 8)."""
+    g = np.asarray(g_ghz, dtype=float)
+    delta = np.abs(np.asarray(resonator_freq_ghz, dtype=float)
+                   - np.asarray(qubit_freq_ghz, dtype=float))
+    if np.any(delta <= 0):
+        raise ValueError("dispersive shift undefined at zero detuning")
+    out = g * g / delta
+    if np.isscalar(g_ghz):
+        return float(out)
+    return out
+
+
+def qubit_pair_coupling_vs_distance_ghz(distance_mm, freq1_ghz, freq2_ghz,
+                                        c1_ff: float = constants.QUBIT_CAPACITANCE_FF,
+                                        c2_ff: float = constants.QUBIT_CAPACITANCE_FF):
+    """Parasitic qubit-qubit coupling as a function of separation (Fig. 5-b).
+
+    Combines the exponential ``Cp(d)`` model with Eq. (6).
+    """
+    cp = qubit_parasitic_capacitance_ff(distance_mm)
+    return qubit_qubit_coupling_ghz(freq1_ghz, freq2_ghz, cp, c1_ff, c2_ff)
+
+
+def resonator_pair_coupling_vs_distance_ghz(distance_mm, adjacent_length_mm,
+                                            freq1_ghz, freq2_ghz):
+    """Parasitic resonator-resonator coupling vs gap (Fig. 6-c)."""
+    cp = resonator_parasitic_capacitance_ff(distance_mm, adjacent_length_mm)
+    return resonator_resonator_coupling_ghz(freq1_ghz, freq2_ghz, cp)
+
+
+def rip_gate_rate_rad_per_ns(drive_amp_ghz: float, drive_detuning_ghz: float,
+                             g_ghz: float = constants.QUBIT_RESONATOR_COUPLING_GHZ,
+                             qubit_freq_ghz: float = 5.0,
+                             resonator_freq_ghz: float = 6.5) -> float:
+    """RIP-gate phase accumulation rate ``theta_dot`` (Eq. 2), rad/ns.
+
+    ``theta_dot ∝ n_bar * chi / Delta_cd`` with the mean photon number
+    ``n_bar = |Omega V_d / (2 Delta_cd)|^2``.
+    """
+    if drive_detuning_ghz == 0:
+        raise ValueError("drive must be detuned from the resonator")
+    n_bar = (drive_amp_ghz / (2.0 * drive_detuning_ghz)) ** 2
+    chi = dispersive_shift_ghz(g_ghz, qubit_freq_ghz, resonator_freq_ghz)
+    return float(2.0 * np.pi * n_bar * chi / abs(drive_detuning_ghz))

@@ -1,0 +1,74 @@
+"""Substrate spurious electromagnetic (box) modes (Sec. III-C).
+
+A dielectric substrate of size ``a x b`` acts as a resonant cavity whose
+lowest transverse-magnetic mode TM110 sits at
+
+``f_110 = c / (2 sqrt(eps_r)) * sqrt((1/a)^2 + (1/b)^2)``
+
+With silicon (eps_r = 11.7) this reproduces the paper's quoted numbers:
+12.41 GHz for a 5x5 mm^2 chip dropping to 6.20 GHz at 10x10 mm^2 — right
+into the resonator band, which is why substrate area must stay compact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from .. import constants
+
+
+def tm_mode_frequency_ghz(width_mm: float, height_mm: float,
+                          m: int = 1, n: int = 1,
+                          eps_r: float = constants.SILICON_RELATIVE_PERMITTIVITY) -> float:
+    """Frequency of the TM(m,n,0) mode of an ``a x b`` dielectric slab.
+
+    Args:
+        width_mm, height_mm: Substrate dimensions (mm).
+        m, n: Mode indices (>= 1).
+        eps_r: Relative permittivity of the substrate.
+
+    Returns:
+        Mode frequency in GHz.
+    """
+    if width_mm <= 0 or height_mm <= 0:
+        raise ValueError("substrate dimensions must be positive")
+    if m < 1 or n < 1:
+        raise ValueError("mode indices must be >= 1")
+    c = constants.SPEED_OF_LIGHT_MM_PER_NS  # mm/ns -> GHz*mm
+    return (c / (2.0 * math.sqrt(eps_r))) * math.hypot(m / width_mm, n / height_mm)
+
+
+def tm110_frequency_ghz(width_mm: float, height_mm: float,
+                        eps_r: float = constants.SILICON_RELATIVE_PERMITTIVITY) -> float:
+    """Lowest box-mode frequency TM110 (the paper's frequency ceiling)."""
+    return tm_mode_frequency_ghz(width_mm, height_mm, 1, 1, eps_r)
+
+
+def max_substrate_side_mm(frequency_ceiling_ghz: float,
+                          eps_r: float = constants.SILICON_RELATIVE_PERMITTIVITY) -> float:
+    """Largest square-substrate side whose TM110 stays above a ceiling.
+
+    Inverts :func:`tm110_frequency_ghz` for a square chip: any component
+    frequency must stay below TM110 (Sec. III-C), so the substrate must be
+    small enough that TM110 exceeds the highest component frequency.
+    """
+    if frequency_ceiling_ghz <= 0:
+        raise ValueError("frequency ceiling must be positive")
+    c = constants.SPEED_OF_LIGHT_MM_PER_NS
+    return (c / (2.0 * math.sqrt(eps_r))) * math.sqrt(2.0) / frequency_ceiling_ghz
+
+
+def check_layout_against_box_modes(width_mm: float, height_mm: float,
+                                   max_component_freq_ghz: float,
+                                   eps_r: float = constants.SILICON_RELATIVE_PERMITTIVITY
+                                   ) -> Tuple[bool, float]:
+    """Check the Sec. III-C constraint ``f_component < f_TM110``.
+
+    Returns:
+        ``(ok, margin_ghz)`` where ``margin_ghz`` is the headroom between
+        TM110 and the highest component frequency (negative = violated).
+    """
+    f110 = tm110_frequency_ghz(width_mm, height_mm, eps_r)
+    margin = f110 - max_component_freq_ghz
+    return (margin > 0.0, margin)

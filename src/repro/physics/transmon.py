@@ -1,0 +1,101 @@
+"""Transmon-qubit energy model (Sec. II-A of the paper).
+
+A transmon is an anharmonic oscillator built from a Josephson junction
+(energy ``EJ``) shunted by a large capacitance (charging energy ``EC``).
+In the transmon limit ``EJ >> EC`` the standard perturbative expressions
+hold (Koch et al. 2007, paper ref. [47]):
+
+* qubit frequency   ``h f01 = sqrt(8 EJ EC) - EC``
+* anharmonicity     ``alpha = f12 - f01 = -EC / h``
+
+All energies are expressed as frequencies (E/h) in GHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .. import constants
+
+#: e^2 / (2 h) expressed so that EC[GHz] = E2_OVER_2H / C[fF].
+#: EC = e^2 / (2C); with e = 1.602e-19 C and h = 6.626e-34 J s,
+#: EC/h = e^2/(2 h C) = 19.37 GHz / (C in fF).
+CHARGING_ENERGY_GHZ_FF = 19.37
+
+
+def charging_energy_ghz(capacitance_ff: float) -> float:
+    """Charging energy EC/h in GHz for a shunt capacitance in fF."""
+    if capacitance_ff <= 0:
+        raise ValueError("capacitance must be positive")
+    return CHARGING_ENERGY_GHZ_FF / capacitance_ff
+
+
+def qubit_frequency_ghz(ej_ghz: float, ec_ghz: float) -> float:
+    """Transmon |0>-|1> transition frequency: sqrt(8 EJ EC) - EC."""
+    if ej_ghz <= 0 or ec_ghz <= 0:
+        raise ValueError("EJ and EC must be positive")
+    return math.sqrt(8.0 * ej_ghz * ec_ghz) - ec_ghz
+
+
+def josephson_energy_for_frequency(f01_ghz: float, ec_ghz: float) -> float:
+    """Invert :func:`qubit_frequency_ghz` to find EJ for a target f01."""
+    if f01_ghz <= 0 or ec_ghz <= 0:
+        raise ValueError("f01 and EC must be positive")
+    return (f01_ghz + ec_ghz) ** 2 / (8.0 * ec_ghz)
+
+
+def anharmonicity_ghz(ec_ghz: float) -> float:
+    """Leading-order transmon anharmonicity alpha = -EC (in GHz)."""
+    return -ec_ghz
+
+
+@dataclass(frozen=True)
+class TransmonParams:
+    """Complete electrical description of one fixed-frequency transmon.
+
+    Attributes:
+        f01_ghz: Qubit transition frequency (GHz).
+        capacitance_ff: Shunt capacitance (fF).
+    """
+
+    f01_ghz: float
+    capacitance_ff: float = constants.QUBIT_CAPACITANCE_FF
+
+    @property
+    def ec_ghz(self) -> float:
+        """Charging energy EC/h (GHz)."""
+        return charging_energy_ghz(self.capacitance_ff)
+
+    @property
+    def ej_ghz(self) -> float:
+        """Josephson energy EJ/h (GHz) required for ``f01_ghz``."""
+        return josephson_energy_for_frequency(self.f01_ghz, self.ec_ghz)
+
+    @property
+    def ej_over_ec(self) -> float:
+        """Transmon ratio EJ/EC; should be >> 1 (typically 50--100)."""
+        return self.ej_ghz / self.ec_ghz
+
+    @property
+    def anharmonicity_ghz(self) -> float:
+        """alpha/2pi = f12 - f01 in GHz (negative)."""
+        return anharmonicity_ghz(self.ec_ghz)
+
+    def level_frequency_ghz(self, n: int) -> float:
+        """Energy of level ``n`` relative to the ground state, as E_n/h.
+
+        Uses the Duffing expansion ``E_n = n f01 + alpha n (n-1) / 2``.
+        """
+        if n < 0:
+            raise ValueError("level index must be >= 0")
+        return n * self.f01_ghz + self.anharmonicity_ghz * n * (n - 1) / 2.0
+
+    def transition_frequency_ghz(self, n: int, m: int) -> float:
+        """Transition frequency between levels ``n`` -> ``m`` (positive up)."""
+        return self.level_frequency_ghz(m) - self.level_frequency_ghz(n)
+
+    def levels_ghz(self, count: int = 3) -> Tuple[float, ...]:
+        """The first ``count`` level energies (E_n/h, GHz)."""
+        return tuple(self.level_frequency_ghz(n) for n in range(count))

@@ -1,0 +1,34 @@
+"""Unit tests for the Classic baseline placer."""
+
+import pytest
+
+from repro.baselines.classic import ClassicPlacer, classic_placement
+from repro.core.config import PlacerConfig
+
+
+class TestClassicPlacer:
+    def test_default_config_is_classic(self):
+        placer = ClassicPlacer()
+        assert not placer.config.frequency_aware
+        assert placer.strategy_name == "classic"
+
+    def test_rejects_frequency_aware_config(self):
+        with pytest.raises(ValueError, match="frequency-oblivious"):
+            ClassicPlacer(PlacerConfig())
+
+    def test_accepts_classic_overrides(self):
+        cfg = PlacerConfig.classic(segment_size_mm=0.4)
+        placer = ClassicPlacer(cfg)
+        assert placer.config.segment_size_mm == 0.4
+
+    def test_end_to_end(self, grid9_netlist, fast_classic_config):
+        result = classic_placement(grid9_netlist, fast_classic_config)
+        assert result.layout.strategy == "classic"
+        assert result.num_cells == result.problem.num_instances
+
+    def test_same_hyperparameters_as_qplacer(self):
+        base = PlacerConfig()
+        classic = ClassicPlacer().config
+        assert classic.segment_size_mm == base.segment_size_mm
+        assert classic.qubit_padding_mm == base.qubit_padding_mm
+        assert classic.target_density == base.target_density

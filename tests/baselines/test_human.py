@@ -1,0 +1,97 @@
+"""Unit tests for the Human (manual IBM-style) baseline layout."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.human import (
+    human_layout,
+    human_qubit_pitch_mm,
+    human_strip_length_mm,
+)
+from repro.core.config import PlacerConfig
+from repro.crosstalk import hotspot_report
+from repro.devices import build_netlist, get_topology, grid_topology
+
+
+@pytest.fixture(scope="module")
+def grid_netlist():
+    return build_netlist(grid_topology(3, 3))
+
+
+@pytest.fixture(scope="module")
+def grid_human(grid_netlist):
+    return human_layout(grid_netlist)
+
+
+class TestStripFormula:
+    def test_paper_formula(self):
+        # D = L * dr / (Lq + 2 dq) = 10 * 0.1 / 1.2 (Sec. V-B).
+        assert human_strip_length_mm(10.0) == pytest.approx(10.0 * 0.1 / 1.2)
+
+    def test_longer_resonator_longer_strip(self):
+        assert human_strip_length_mm(10.8) > human_strip_length_mm(9.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            human_strip_length_mm(0.0)
+
+    def test_pitch_value(self, grid_netlist):
+        pitch = human_qubit_pitch_mm(grid_netlist)
+        # padded qubit 1.2 mm + strip ~0.85 mm -> pitch ~2.0 mm.
+        assert 1.9 <= pitch <= 2.2
+
+
+class TestHumanLayout:
+    def test_crosstalk_free(self, grid_human):
+        report = hotspot_report(grid_human)
+        assert report.ph == 0.0
+        assert report.num_hotspots == 0
+
+    def test_qubits_on_lattice(self, grid_netlist, grid_human):
+        pitch = human_qubit_pitch_mm(grid_netlist)
+        qi = grid_human.qubit_indices
+        p0 = np.array(grid_human.qubit_center(0))
+        p1 = np.array(grid_human.qubit_center(1))
+        p3 = np.array(grid_human.qubit_center(3))
+        assert np.linalg.norm(p1 - p0) == pytest.approx(pitch)
+        assert np.linalg.norm(p3 - p0) == pytest.approx(pitch)
+
+    def test_instances_match_placement_problem(self, grid_human):
+        # Qubits first, then segments — identical to QPlacer layouts so
+        # every metric applies unchanged.
+        names = [inst.name for inst in grid_human.instances]
+        assert names[:9] == [f"q{i}" for i in range(9)]
+        assert names[9].startswith("r0.s")
+
+    def test_segments_near_their_edge(self, grid_netlist, grid_human):
+        groups = grid_human.segment_indices_by_resonator
+        for resonator in grid_netlist.resonators:
+            u, v = resonator.endpoints
+            mid = (np.array(grid_human.qubit_center(u))
+                   + np.array(grid_human.qubit_center(v))) / 2
+            centroid = grid_human.positions[groups[resonator.index]].mean(axis=0)
+            assert np.linalg.norm(centroid - mid) < 1.0
+
+    def test_at_origin(self, grid_human):
+        mer = grid_human.enclosing_rect()
+        assert mer.x == pytest.approx(0.0)
+        assert mer.y == pytest.approx(0.0)
+
+    def test_strategy_tag(self, grid_human):
+        assert grid_human.strategy == "human"
+
+    def test_custom_segment_size(self, grid_netlist):
+        layout = human_layout(grid_netlist, PlacerConfig(segment_size_mm=0.2))
+        seg = next(i for i in layout.instances if i.name.startswith("r0.s"))
+        assert seg.width == 0.2
+
+
+class TestAreaPremium:
+    @pytest.mark.parametrize("name", ["falcon-27", "aspen11-40"])
+    def test_bigger_than_qplacer_floor(self, name):
+        # The human layout must pay a clear area premium over the packed
+        # instance-area lower bound.
+        netlist = build_netlist(get_topology(name))
+        layout = human_layout(netlist)
+        bare = sum(inst.area for inst in layout.instances)
+        assert layout.amer() > 2.0 * bare

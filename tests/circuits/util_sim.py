@@ -1,0 +1,115 @@
+"""A tiny dense statevector/unitary simulator for transpiler validation.
+
+Builds the full unitary of a circuit on up to ~6 qubits so tests can
+assert that gate decompositions are *exactly* equivalent up to global
+phase — the strongest possible correctness check for the transpiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array([[np.exp(-0.5j * theta), 0],
+                     [0, np.exp(0.5j * theta)]], dtype=complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = np.cos(theta / 2), -1j * np.sin(theta / 2)
+    return np.array([[c, s], [s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _embed_single(u: np.ndarray, qubit: int, n: int) -> np.ndarray:
+    ops = [u if k == qubit else _I for k in range(n)]
+    full = ops[0]
+    for op in ops[1:]:
+        full = np.kron(full, op)
+    return full
+
+
+def _embed_two(u4: np.ndarray, a: int, b: int, n: int) -> np.ndarray:
+    """Embed a 4x4 unitary acting on qubits (a, b) into n qubits."""
+    dim = 2 ** n
+    full = np.zeros((dim, dim), dtype=complex)
+    for col in range(dim):
+        bits = [(col >> (n - 1 - k)) & 1 for k in range(n)]
+        local_col = 2 * bits[a] + bits[b]
+        for local_row in range(4):
+            amp = u4[local_row, local_col]
+            if amp == 0:
+                continue
+            new_bits = list(bits)
+            new_bits[a] = (local_row >> 1) & 1
+            new_bits[b] = local_row & 1
+            row = 0
+            for bit in new_bits:
+                row = (row << 1) | bit
+            full[row, col] += amp
+    return full
+
+
+def gate_unitary(gate: Gate, n: int) -> np.ndarray:
+    """Full n-qubit unitary of one gate."""
+    name = gate.name
+    if name == "barrier":
+        return np.eye(2 ** n, dtype=complex)
+    if name in ("rz", "rx", "ry"):
+        table = {"rz": _rz, "rx": _rx, "ry": _ry}
+        return _embed_single(table[name](gate.params[0]), gate.qubits[0], n)
+    if name in ("x", "sx", "h"):
+        table = {"x": _X, "sx": _SX, "h": _H}
+        return _embed_single(table[name], gate.qubits[0], n)
+    if name == "cz":
+        u4 = np.diag([1, 1, 1, -1]).astype(complex)
+        return _embed_two(u4, gate.qubits[0], gate.qubits[1], n)
+    if name == "cx":
+        u4 = np.array([[1, 0, 0, 0], [0, 1, 0, 0],
+                       [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex)
+        return _embed_two(u4, gate.qubits[0], gate.qubits[1], n)
+    if name == "swap":
+        u4 = np.array([[1, 0, 0, 0], [0, 0, 1, 0],
+                       [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex)
+        return _embed_two(u4, gate.qubits[0], gate.qubits[1], n)
+    if name == "rzz":
+        theta = gate.params[0]
+        phase = np.exp(0.5j * theta)
+        u4 = np.diag([1 / phase, phase, phase, 1 / phase]).astype(complex)
+        return _embed_two(u4, gate.qubits[0], gate.qubits[1], n)
+    raise ValueError(f"no unitary for gate {name!r}")
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full unitary of a circuit (little cost for <= 6 qubits)."""
+    n = circuit.num_qubits
+    u = np.eye(2 ** n, dtype=complex)
+    for gate in circuit.gates:
+        u = gate_unitary(gate, n) @ u
+    return u
+
+
+def unitaries_equal_up_to_phase(a: np.ndarray, b: np.ndarray,
+                                tol: float = 1e-9) -> bool:
+    """True when a = e^{i phi} b for some global phase phi."""
+    if a.shape != b.shape:
+        return False
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < tol:
+        return np.allclose(a, b, atol=tol)
+    phase = a[idx] / b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return np.allclose(a, phase * b, atol=tol)

@@ -1,0 +1,76 @@
+"""Shared fixtures: small topologies and fast placer configurations.
+
+Unit tests use deliberately small devices and reduced iteration budgets
+so the whole suite stays fast; the full-scale paper protocol lives in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import PlacerConfig, QPlacer
+from repro.devices import build_netlist, grid_topology
+from repro.devices.topology import Topology
+
+
+def make_ring_topology(n: int = 6) -> Topology:
+    """A small ring device: n qubits, n couplers (cheap to place)."""
+    graph = nx.cycle_graph(n)
+    coords = {}
+    import math
+    for k in range(n):
+        angle = 2 * math.pi * k / n
+        coords[k] = (math.cos(angle) * n / 4, math.sin(angle) * n / 4)
+    return Topology(name=f"ring-{n}", description="test ring",
+                    graph=graph, coords=coords)
+
+
+@pytest.fixture(scope="session")
+def ring6() -> Topology:
+    """Six-qubit ring topology."""
+    return make_ring_topology(6)
+
+
+@pytest.fixture(scope="session")
+def grid9() -> Topology:
+    """3x3 grid topology."""
+    return grid_topology(3, 3)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> PlacerConfig:
+    """Reduced-budget placer configuration for unit tests."""
+    return PlacerConfig(max_iterations=120, min_iterations=20, num_bins=32)
+
+
+@pytest.fixture(scope="session")
+def fast_classic_config() -> PlacerConfig:
+    """Classic counterpart of :func:`fast_config`."""
+    return PlacerConfig.classic(max_iterations=120, min_iterations=20,
+                                num_bins=32)
+
+
+@pytest.fixture(scope="session")
+def ring6_netlist(ring6):
+    """Netlist for the six-qubit ring."""
+    return build_netlist(ring6)
+
+
+@pytest.fixture(scope="session")
+def grid9_netlist(grid9):
+    """Netlist for the 3x3 grid."""
+    return build_netlist(grid9)
+
+
+@pytest.fixture(scope="session")
+def grid9_placed(grid9_netlist, fast_config):
+    """A complete Qplacer result on the 3x3 grid (placed once per session)."""
+    return QPlacer(fast_config).place(grid9_netlist)
+
+
+@pytest.fixture(scope="session")
+def grid9_classic(grid9_netlist, fast_classic_config):
+    """A Classic placement on the 3x3 grid."""
+    return QPlacer(fast_classic_config).place(grid9_netlist)

@@ -1,0 +1,70 @@
+"""Unit tests for the placer configuration."""
+
+import pytest
+
+from repro.core.config import PlacerConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = PlacerConfig()
+        assert cfg.segment_size_mm == 0.3
+        assert cfg.qubit_padding_mm == 0.4
+        assert cfg.resonator_padding_mm == 0.1
+        assert cfg.detuning_threshold_ghz == 0.1
+        assert cfg.frequency_aware
+
+    def test_frozen(self):
+        cfg = PlacerConfig()
+        with pytest.raises(AttributeError):
+            cfg.segment_size_mm = 0.2
+
+
+class TestClassic:
+    def test_classic_disables_frequency_machinery(self):
+        cfg = PlacerConfig.classic()
+        assert not cfg.frequency_aware
+        assert not cfg.legalize_integration
+        assert not cfg.chain_aware_tetris
+
+    def test_classic_shares_other_hyperparameters(self):
+        base = PlacerConfig()
+        classic = PlacerConfig.classic()
+        assert classic.segment_size_mm == base.segment_size_mm
+        assert classic.target_density == base.target_density
+        assert classic.whitespace_factor == base.whitespace_factor
+
+    def test_classic_overrides(self):
+        cfg = PlacerConfig.classic(segment_size_mm=0.2, seed=7)
+        assert cfg.segment_size_mm == 0.2
+        assert cfg.seed == 7
+        assert not cfg.frequency_aware
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"segment_size_mm": 0.0},
+        {"qubit_padding_mm": -0.1},
+        {"qubit_clearance_mm": -0.1},
+        {"target_density": 0.0},
+        {"target_density": 3.0},
+        {"whitespace_factor": 0.0},
+        {"whitespace_factor": 1.5},
+        {"num_bins": 4},
+        {"max_iterations": 10, "min_iterations": 20},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            PlacerConfig(**kwargs)
+
+
+class TestDerived:
+    def test_with_segment_size(self):
+        cfg = PlacerConfig().with_segment_size(0.4)
+        assert cfg.segment_size_mm == 0.4
+        assert cfg.frequency_aware  # everything else preserved
+
+    def test_site_pitches(self):
+        cfg = PlacerConfig(qubit_clearance_mm=0.2, segment_clearance_mm=0.1)
+        assert cfg.qubit_site_pitch_mm(0.4) == pytest.approx(0.6)
+        assert cfg.segment_site_pitch_mm() == pytest.approx(0.4)

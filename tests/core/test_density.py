@@ -1,0 +1,98 @@
+"""Unit tests for the electrostatic density field."""
+
+import numpy as np
+import pytest
+
+from repro.core.density import DensityGrid
+from repro.devices.geometry import Rect
+
+
+def make_grid(num_instances=2, size=0.5, region_side=8.0, bins=16,
+              target=1.0):
+    sizes = np.full((num_instances, 2), size)
+    return DensityGrid(Rect(0, 0, region_side, region_side), bins, sizes,
+                       target_density=target)
+
+
+class TestRasterize:
+    def test_total_area_conserved(self):
+        grid = make_grid(3, size=0.7)
+        positions = np.array([[2.0, 2.0], [5.1, 4.3], [6.2, 6.7]])
+        rho = grid.rasterize(positions)
+        assert rho.sum() == pytest.approx(3 * 0.7 * 0.7, rel=1e-9)
+
+    def test_aligned_instance_fills_bins(self):
+        grid = make_grid(1, size=0.5, region_side=8.0, bins=16)  # bin 0.5
+        rho = grid.rasterize(np.array([[2.25, 2.25]]))  # exactly bin (4,4)
+        assert rho[4, 4] == pytest.approx(0.25)
+        assert rho.sum() == pytest.approx(0.25)
+
+    def test_straddling_instance_splits(self):
+        grid = make_grid(1, size=0.5, region_side=8.0, bins=16)
+        rho = grid.rasterize(np.array([[2.5, 2.25]]))  # split across x bins
+        assert rho[4, 4] == pytest.approx(0.125)
+        assert rho[5, 4] == pytest.approx(0.125)
+
+    def test_mixed_sizes_grouped(self):
+        sizes = np.array([[0.5, 0.5], [1.0, 1.0], [0.5, 0.5]])
+        grid = DensityGrid(Rect(0, 0, 8, 8), 16, sizes)
+        rho = grid.rasterize(np.array([[2, 2], [5, 5], [6.5, 2]], float))
+        assert rho.sum() == pytest.approx(0.25 + 1.0 + 0.25)
+
+
+class TestPoisson:
+    def test_solver_satisfies_discrete_poisson(self):
+        grid = make_grid(2, size=0.5)
+        rho = grid.rasterize(np.array([[3.0, 3.0], [5.0, 5.0]]))
+        rho_centered = rho - rho.mean()
+        psi = grid.solve_potential(rho_centered)
+        # Interior discrete Laplacian must equal -rho (Neumann boundary).
+        lap = np.zeros_like(psi)
+        lap[1:-1, 1:-1] = (
+            (psi[2:, 1:-1] - 2 * psi[1:-1, 1:-1] + psi[:-2, 1:-1])
+            / grid.bin_w ** 2
+            + (psi[1:-1, 2:] - 2 * psi[1:-1, 1:-1] + psi[1:-1, :-2])
+            / grid.bin_h ** 2)
+        assert np.allclose(lap[2:-2, 2:-2], -rho_centered[2:-2, 2:-2],
+                           atol=1e-8)
+
+    def test_potential_peaks_at_density_peak(self):
+        grid = make_grid(1, size=1.0)
+        rho = grid.rasterize(np.array([[4.0, 4.0]]))
+        psi = grid.solve_potential(rho - rho.mean())
+        peak = np.unravel_index(np.argmax(psi), psi.shape)
+        assert abs(peak[0] - 8) <= 1 and abs(peak[1] - 8) <= 1
+
+
+class TestEvaluate:
+    def test_gradient_pushes_overlapping_apart(self):
+        grid = make_grid(2, size=1.0)
+        positions = np.array([[4.0, 4.0], [4.5, 4.0]])  # heavy overlap
+        result = grid.evaluate(positions)
+        # Descent (-grad) must separate: left instance moves left (-x),
+        # right instance moves right (+x).
+        assert -result.grad[0, 0] < 0
+        assert -result.grad[1, 0] > 0
+
+    def test_overflow_zero_when_spread(self):
+        grid = make_grid(2, size=0.4, region_side=8.0, bins=16)
+        result = grid.evaluate(np.array([[2.0, 2.0], [6.0, 6.0]]))
+        # bin area 0.25, instance area 0.16 < capacity: no overflow even
+        # if an instance straddles bins.
+        assert result.overflow < 0.35
+
+    def test_overflow_positive_when_stacked(self):
+        grid = make_grid(4, size=1.0)
+        positions = np.tile([[4.0, 4.0]], (4, 1))
+        result = grid.evaluate(positions)
+        assert result.overflow > 0.5
+
+    def test_energy_decreases_when_spreading(self):
+        grid = make_grid(2, size=1.0)
+        stacked = grid.evaluate(np.array([[4.0, 4.0], [4.2, 4.0]]))
+        spread = grid.evaluate(np.array([[2.0, 2.0], [6.0, 6.0]]))
+        assert spread.energy < stacked.energy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityGrid(Rect(0, 0, 8, 8), 2, np.ones((1, 2)))

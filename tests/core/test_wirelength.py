@@ -1,0 +1,89 @@
+"""Unit tests for the wirelength model and gradient."""
+
+import numpy as np
+import pytest
+
+from repro.core.wirelength import hpwl, smooth_wirelength, wirelength_and_grad
+
+
+@pytest.fixture
+def simple_nets():
+    positions = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+    nets = np.array([[0, 1], [1, 2]])
+    return positions, nets
+
+
+class TestHpwl:
+    def test_manhattan_sum(self, simple_nets):
+        positions, nets = simple_nets
+        assert hpwl(positions, nets) == pytest.approx((3 + 4) + (2 + 3))
+
+    def test_empty_nets(self):
+        assert hpwl(np.zeros((3, 2)), np.zeros((0, 2), dtype=int)) == 0.0
+
+    def test_translation_invariant(self, simple_nets):
+        positions, nets = simple_nets
+        shifted = positions + np.array([10.0, -5.0])
+        assert hpwl(shifted, nets) == pytest.approx(hpwl(positions, nets))
+
+
+class TestSmoothWirelength:
+    def test_approaches_hpwl_for_small_gamma(self, simple_nets):
+        positions, nets = simple_nets
+        exact = hpwl(positions, nets)
+        smooth = smooth_wirelength(positions, nets, gamma=1e-6)
+        assert smooth == pytest.approx(exact, rel=1e-4)
+
+    def test_underestimates_hpwl(self, simple_nets):
+        positions, nets = simple_nets
+        assert smooth_wirelength(positions, nets, 0.5) <= hpwl(positions, nets)
+
+    def test_gamma_validation(self, simple_nets):
+        positions, nets = simple_nets
+        with pytest.raises(ValueError):
+            smooth_wirelength(positions, nets, 0.0)
+
+
+class TestGradient:
+    def test_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        positions = rng.normal(size=(6, 2))
+        nets = np.array([[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [0, 5]])
+        gamma = 0.1
+        _, grad = wirelength_and_grad(positions, nets, gamma)
+
+        eps = 1e-6
+        for i in range(6):
+            for dim in range(2):
+                plus = positions.copy()
+                plus[i, dim] += eps
+                minus = positions.copy()
+                minus[i, dim] -= eps
+                numeric = (smooth_wirelength(plus, nets, gamma)
+                           - smooth_wirelength(minus, nets, gamma)) / (2 * eps)
+                assert grad[i, dim] == pytest.approx(numeric, abs=1e-5)
+
+    def test_value_matches_smooth(self, simple_nets):
+        positions, nets = simple_nets
+        value, _ = wirelength_and_grad(positions, nets, 0.2)
+        assert value == pytest.approx(smooth_wirelength(positions, nets, 0.2))
+
+    def test_gradient_pulls_pins_together(self):
+        positions = np.array([[0.0, 0.0], [2.0, 0.0]])
+        nets = np.array([[0, 1]])
+        _, grad = wirelength_and_grad(positions, nets, 0.1)
+        # Descent direction (-grad) moves pin 0 right and pin 1 left.
+        assert grad[0, 0] < 0
+        assert grad[1, 0] > 0
+
+    def test_zero_at_coincident_points(self):
+        positions = np.zeros((2, 2))
+        nets = np.array([[0, 1]])
+        _, grad = wirelength_and_grad(positions, nets, 0.1)
+        assert np.allclose(grad, 0.0)
+
+    def test_empty_nets_zero_grad(self):
+        value, grad = wirelength_and_grad(np.zeros((3, 2)),
+                                          np.zeros((0, 2), dtype=int), 0.1)
+        assert value == 0.0
+        assert np.allclose(grad, 0.0)

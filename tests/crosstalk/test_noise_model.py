@@ -1,0 +1,96 @@
+"""Unit tests for the noise-model error channels."""
+
+import math
+
+import pytest
+
+from repro.crosstalk.noise_model import (
+    NoiseParams,
+    crosstalk_error,
+    decoherence_error,
+    gate_error_factor,
+)
+
+
+class TestNoiseParams:
+    def test_defaults_paper_values(self):
+        p = NoiseParams()
+        assert p.t1_ns == 100_000.0
+        assert p.detuning_threshold_ghz == 0.1
+
+    def test_decoherence_rate(self):
+        p = NoiseParams(t1_ns=100.0, t2_ns=50.0)
+        assert p.decoherence_rate_per_ns == pytest.approx(0.5 * (0.01 + 0.02))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseParams(t1_ns=0.0)
+        with pytest.raises(ValueError):
+            NoiseParams(single_qubit_gate_error=1.0)
+        with pytest.raises(ValueError):
+            NoiseParams(two_qubit_gate_error=-0.1)
+
+
+class TestDecoherence:
+    def test_zero_duration(self):
+        assert decoherence_error(0.0) == 0.0
+
+    def test_exponential_form(self):
+        p = NoiseParams()
+        t = 5000.0
+        expected = 1.0 - math.exp(-t * p.decoherence_rate_per_ns)
+        assert decoherence_error(t, p) == pytest.approx(expected)
+
+    def test_monotone(self):
+        assert decoherence_error(2000) > decoherence_error(1000)
+
+    def test_saturates_at_one(self):
+        assert decoherence_error(1e9) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            decoherence_error(-1.0)
+
+
+class TestCrosstalkError:
+    def test_zero_cases(self):
+        assert crosstalk_error(0.0, 1000.0) == 0.0
+        assert crosstalk_error(0.01, 0.0) == 0.0
+
+    def test_resonant_long_exposure_saturates(self):
+        # Resonant pair exposed long enough reaches the full envelope.
+        assert crosstalk_error(0.001, 10_000.0) == pytest.approx(1.0)
+
+    def test_short_exposure_small(self):
+        eps = crosstalk_error(1e-6, 100.0)
+        assert eps < 1e-4
+
+    def test_detuning_suppression(self):
+        g, t = 0.001, 10_000.0
+        resonant = crosstalk_error(g, t, detuning_ghz=0.0)
+        detuned = crosstalk_error(g, t, detuning_ghz=0.13)
+        assert detuned < 0.01 * resonant
+
+    def test_bounded(self):
+        for g in (1e-5, 1e-3, 1e-1):
+            for t in (10.0, 1e4, 1e7):
+                assert 0.0 <= crosstalk_error(g, t) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crosstalk_error(-0.01, 100.0)
+        with pytest.raises(ValueError):
+            crosstalk_error(0.01, -100.0)
+
+
+class TestGateErrorFactor:
+    def test_multiplicative(self):
+        p = NoiseParams(single_qubit_gate_error=0.01, two_qubit_gate_error=0.1)
+        assert gate_error_factor(2, 1, p) == pytest.approx(0.99 ** 2 * 0.9)
+
+    def test_no_gates_perfect(self):
+        assert gate_error_factor(0, 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gate_error_factor(-1, 0)

@@ -1,0 +1,128 @@
+"""Unit tests for the fabrication frequency-disorder model."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.devices import build_netlist, grid_topology
+from repro.devices.disorder import (
+    apply_frequency_disorder,
+    disordered_layout,
+    scatter_frequencies,
+)
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return build_netlist(grid_topology(3, 3))
+
+
+class TestScatter:
+    def test_zero_sigma_identity(self):
+        values = np.array([5.0, 5.1])
+        rng = np.random.default_rng(0)
+        out = scatter_frequencies(values, 0.0, (4.8, 5.2), rng)
+        assert np.allclose(out, values)
+
+    def test_clipped_to_band(self):
+        values = np.array([4.8, 5.2])
+        rng = np.random.default_rng(1)
+        out = scatter_frequencies(values, 0.5, (4.8, 5.2), rng)
+        assert np.all(out >= 4.8) and np.all(out <= 5.2)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_frequencies(np.array([5.0]), -0.1, (4.8, 5.2),
+                                np.random.default_rng(0))
+
+
+class TestApplyDisorder:
+    def test_original_untouched(self, netlist):
+        before = [q.frequency for q in netlist.qubits]
+        apply_frequency_disorder(netlist, seed=3)
+        assert [q.frequency for q in netlist.qubits] == before
+
+    def test_frequencies_move(self, netlist):
+        # Band-edge qubits clip back to the edge for one noise sign, so
+        # only interior-level qubits are guaranteed to move.
+        noisy = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.03,
+                                         seed=3)
+        lo, hi = constants.QUBIT_FREQ_BAND_GHZ
+        for before, after in zip(netlist.qubits, noisy.qubits):
+            if lo < before.frequency < hi:
+                assert after.frequency != before.frequency
+
+    def test_band_respected(self, netlist):
+        noisy = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.2,
+                                         sigma_resonator_ghz=0.2, seed=9)
+        for q in noisy.qubits:
+            assert constants.QUBIT_FREQ_BAND_GHZ[0] <= q.frequency <= \
+                constants.QUBIT_FREQ_BAND_GHZ[1]
+        for r in noisy.resonators:
+            assert constants.RESONATOR_FREQ_BAND_GHZ[0] <= r.frequency <= \
+                constants.RESONATOR_FREQ_BAND_GHZ[1]
+
+    def test_seed_determinism(self, netlist):
+        a = apply_frequency_disorder(netlist, seed=4)
+        b = apply_frequency_disorder(netlist, seed=4)
+        c = apply_frequency_disorder(netlist, seed=5)
+        assert [q.frequency for q in a.qubits] == \
+            [q.frequency for q in b.qubits]
+        assert [q.frequency for q in a.qubits] != \
+            [q.frequency for q in c.qubits]
+
+    def test_plan_mirrors_components(self, netlist):
+        noisy = apply_frequency_disorder(netlist, seed=6)
+        for q in noisy.qubits:
+            assert noisy.plan.qubit_freq_ghz[q.index] == q.frequency
+        for r in noisy.resonators:
+            assert noisy.plan.resonator_freq_ghz[r.endpoints] == r.frequency
+
+    def test_topology_shared(self, netlist):
+        noisy = apply_frequency_disorder(netlist, seed=7)
+        assert noisy.topology is netlist.topology
+
+
+class TestDisorderedLayout:
+    def test_positions_frozen(self, grid9_placed):
+        noisy = disordered_layout(grid9_placed.layout, seed=2)
+        assert np.allclose(noisy.positions, grid9_placed.layout.positions)
+
+    def test_strategy_tagged(self, grid9_placed):
+        noisy = disordered_layout(grid9_placed.layout, seed=2)
+        assert noisy.strategy == "qplacer+disorder"
+
+    def test_instance_frequencies_updated(self, grid9_placed):
+        noisy = disordered_layout(grid9_placed.layout,
+                                  sigma_qubit_ghz=0.05, seed=2)
+        moved = sum(
+            1 for a, b in zip(grid9_placed.layout.instances, noisy.instances)
+            if a.frequency != b.frequency)
+        assert moved > 0
+
+    def test_segments_track_their_resonator(self, grid9_placed):
+        noisy = disordered_layout(grid9_placed.layout, seed=2)
+        freq_by_res = {r.index: r.frequency
+                       for r in noisy.netlist.resonators}
+        for inst in noisy.instances:
+            if hasattr(inst, "resonator_index") and inst.resonator_index >= 0:
+                assert inst.frequency == freq_by_res[inst.resonator_index]
+
+    def test_can_create_hotspots(self, grid9_placed):
+        """Large scatter must be able to break the designed margins."""
+        from repro.crosstalk import hotspot_report
+        worst = 0.0
+        for seed in range(6):
+            noisy = disordered_layout(grid9_placed.layout,
+                                      sigma_qubit_ghz=0.05,
+                                      sigma_resonator_ghz=0.05, seed=seed)
+            worst = max(worst, hotspot_report(noisy).ph_percent)
+        assert worst > 0.0
+
+    def test_requires_netlist(self):
+        from repro.devices.components import Qubit
+        from repro.devices.layout import Layout
+        lay = Layout(instances=[Qubit.create(0, 5.0)],
+                     positions=np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            disordered_layout(lay)

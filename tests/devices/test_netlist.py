@@ -1,0 +1,94 @@
+"""Unit tests for netlist construction."""
+
+import pytest
+
+from repro.devices import build_netlist, grid_topology
+from repro.devices.frequency import assign_frequencies
+from repro.devices.netlist import QuantumNetlist
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return build_netlist(grid_topology(3, 3))
+
+
+class TestBuildNetlist:
+    def test_counts(self, netlist):
+        assert len(netlist.qubits) == 9
+        assert len(netlist.resonators) == 12
+        assert netlist.num_components == 21
+
+    def test_qubit_indices_match_topology(self, netlist):
+        assert [q.index for q in netlist.qubits] == list(range(9))
+
+    def test_resonator_endpoints_match_coupling_map(self, netlist):
+        assert [r.endpoints for r in netlist.resonators] == \
+            netlist.topology.coupling_map
+
+    def test_frequencies_follow_plan(self, netlist):
+        for q in netlist.qubits:
+            assert q.frequency == netlist.plan.qubit_freq_ghz[q.index]
+        for r in netlist.resonators:
+            assert r.frequency == netlist.plan.resonator_freq_ghz[r.endpoints]
+
+    def test_explicit_plan_respected(self):
+        topo = grid_topology(2, 2)
+        plan = assign_frequencies(topo)
+        netlist = build_netlist(topo, plan=plan)
+        assert netlist.plan is plan
+
+    def test_custom_geometry(self):
+        netlist = build_netlist(grid_topology(2, 2), qubit_size_mm=0.5,
+                                qubit_padding_mm=0.2, resonator_pitch_mm=0.15)
+        assert netlist.qubits[0].width == 0.5
+        assert netlist.qubits[0].padding == 0.2
+        assert netlist.resonators[0].pitch == 0.15
+
+
+class TestLookups:
+    def test_qubit_lookup(self, netlist):
+        assert netlist.qubit(4).index == 4
+
+    def test_resonator_lookup_unordered(self, netlist):
+        r = netlist.resonator(1, 0)
+        assert r.endpoints == (0, 1)
+
+    def test_resonator_lookup_missing(self, netlist):
+        with pytest.raises(KeyError):
+            netlist.resonator(0, 8)
+
+    def test_resonators_of_qubit(self, netlist):
+        attached = netlist.resonators_of_qubit(4)
+        assert len(attached) == 4  # grid centre has degree 4
+        assert all(4 in r.endpoints for r in attached)
+
+    def test_resonator_by_edge(self, netlist):
+        mapping = netlist.resonator_by_edge
+        assert set(mapping) == set(netlist.topology.coupling_map)
+
+
+class TestAggregates:
+    def test_total_qubit_area(self, netlist):
+        assert netlist.total_qubit_area() == pytest.approx(9 * 0.16)
+
+    def test_total_resonator_area(self, netlist):
+        expected = sum(r.reserved_area for r in netlist.resonators)
+        assert netlist.total_resonator_area() == pytest.approx(expected)
+
+    def test_max_component_frequency(self, netlist):
+        expected = max(r.frequency for r in netlist.resonators)
+        assert netlist.max_component_frequency_ghz() == expected
+
+
+class TestValidation:
+    def test_wrong_qubit_count_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            QuantumNetlist(topology=netlist.topology, plan=netlist.plan,
+                           qubits=netlist.qubits[:-1],
+                           resonators=netlist.resonators)
+
+    def test_wrong_resonator_count_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            QuantumNetlist(topology=netlist.topology, plan=netlist.plan,
+                           qubits=netlist.qubits,
+                           resonators=netlist.resonators[:-1])

@@ -1,0 +1,94 @@
+"""Unit tests for the minimal GDSII writer."""
+
+import struct
+
+import pytest
+
+from repro.io.gds import (
+    LAYER_QUBIT,
+    LAYER_RESONATOR,
+    _gds_real8,
+    layout_to_gds_bytes,
+    parse_gds_records,
+    save_gds,
+)
+
+
+class TestReal8:
+    def decode(self, data: bytes) -> float:
+        """Reference decoder for GDSII excess-64 reals."""
+        sign = -1.0 if data[0] & 0x80 else 1.0
+        exponent = (data[0] & 0x7F) - 64
+        mantissa = int.from_bytes(data[1:8], "big") / float(1 << 56)
+        return sign * mantissa * (16.0 ** exponent)
+
+    @pytest.mark.parametrize("value", [1e-9, 1e-3, 1.0, 0.5, 123.456, 3.14])
+    def test_roundtrip(self, value):
+        assert self.decode(_gds_real8(value)) == pytest.approx(value, rel=1e-12)
+
+    def test_zero(self):
+        assert _gds_real8(0.0) == b"\0" * 8
+
+    def test_negative(self):
+        assert self.decode(_gds_real8(-2.5)) == pytest.approx(-2.5)
+
+
+class TestStream:
+    def test_record_framing(self, grid9_placed):
+        data = layout_to_gds_bytes(grid9_placed.layout)
+        types = parse_gds_records(data)
+        assert types[0] == 0x0002   # HEADER
+        assert types[1] == 0x0102   # BGNLIB
+        assert types[-1] == 0x0400  # ENDLIB
+
+    def test_boundary_count(self, grid9_placed):
+        data = layout_to_gds_bytes(grid9_placed.layout)
+        types = parse_gds_records(data)
+        assert types.count(0x0800) == grid9_placed.num_cells  # BOUNDARY
+        assert types.count(0x1100) == grid9_placed.num_cells  # ENDEL
+
+    def test_layers_present(self, grid9_placed):
+        data = layout_to_gds_bytes(grid9_placed.layout)
+        layers = set()
+        offset = 0
+        while offset + 4 <= len(data):
+            length, rectype = struct.unpack(">HH", data[offset:offset + 4])
+            if rectype == 0x0D02:  # LAYER
+                layers.add(struct.unpack(">h", data[offset + 4:offset + 6])[0])
+            offset += length
+        assert layers == {LAYER_QUBIT, LAYER_RESONATOR}
+
+    def test_coordinates_scale(self, grid9_placed):
+        """First BOUNDARY's XY extent must match the instance in nm."""
+        layout = grid9_placed.layout
+        data = layout_to_gds_bytes(layout)
+        offset = 0
+        xy = None
+        while offset + 4 <= len(data):
+            length, rectype = struct.unpack(">HH", data[offset:offset + 4])
+            if rectype == 0x1003:  # XY
+                payload = data[offset + 4:offset + length]
+                xy = struct.unpack(f">{len(payload) // 4}i", payload)
+                break
+            offset += length
+        assert xy is not None
+        xs = xy[0::2]
+        width_nm = max(xs) - min(xs)
+        assert width_nm == pytest.approx(layout.instances[0].width * 1e6)
+
+    def test_even_record_lengths(self, grid9_placed):
+        data = layout_to_gds_bytes(grid9_placed.layout)
+        offset = 0
+        while offset + 4 <= len(data):
+            length, _ = struct.unpack(">HH", data[offset:offset + 4])
+            assert length % 2 == 0
+            offset += length
+
+    def test_save(self, grid9_placed, tmp_path):
+        path = tmp_path / "chip.gds"
+        save_gds(grid9_placed.layout, path)
+        assert path.stat().st_size > 100
+
+    def test_corrupt_stream_rejected(self):
+        with pytest.raises(ValueError):
+            parse_gds_records(b"\x00\x01\x00\x02")

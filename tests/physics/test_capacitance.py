@@ -1,0 +1,75 @@
+"""Unit tests for the parasitic-capacitance distance models."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.physics.capacitance import (
+    qubit_parasitic_capacitance_ff,
+    qubit_resonator_parasitic_capacitance_ff,
+    resonator_parasitic_capacitance_ff,
+)
+
+
+class TestQubitParasitic:
+    def test_contact_value(self):
+        assert qubit_parasitic_capacitance_ff(0.0) == pytest.approx(
+            constants.PARASITIC_CP0_FF)
+
+    def test_monotone_decay(self):
+        d = np.linspace(0, 2, 50)
+        cp = qubit_parasitic_capacitance_ff(d)
+        assert np.all(np.diff(cp) < 0)
+
+    def test_decay_length(self):
+        lam = constants.PARASITIC_DECAY_MM
+        ratio = (qubit_parasitic_capacitance_ff(lam)
+                 / qubit_parasitic_capacitance_ff(0.0))
+        assert ratio == pytest.approx(np.exp(-1.0))
+
+    def test_negligible_at_padding_sum(self):
+        # At the 0.8 mm qubit padding sum the capacitance is ~1e-7 of Cp0.
+        cp = qubit_parasitic_capacitance_ff(0.8)
+        assert cp < 1e-6 * constants.PARASITIC_CP0_FF
+
+    def test_scalar_in_scalar_out(self):
+        assert isinstance(qubit_parasitic_capacitance_ff(0.5), float)
+
+    def test_array_in_array_out(self):
+        out = qubit_parasitic_capacitance_ff(np.array([0.1, 0.2]))
+        assert out.shape == (2,)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            qubit_parasitic_capacitance_ff(-0.1)
+
+
+class TestResonatorParasitic:
+    def test_scales_with_adjacent_length(self):
+        short = resonator_parasitic_capacitance_ff(0.1, 0.5)
+        long = resonator_parasitic_capacitance_ff(0.1, 1.0)
+        assert long == pytest.approx(2.0 * short)
+
+    def test_zero_length_zero_capacitance(self):
+        assert resonator_parasitic_capacitance_ff(0.1, 0.0) == 0.0
+
+    def test_monotone_decay_with_gap(self):
+        d = np.linspace(0, 1, 30)
+        cp = resonator_parasitic_capacitance_ff(d, 1.0)
+        assert np.all(np.diff(cp) < 0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            resonator_parasitic_capacitance_ff(0.1, -1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            resonator_parasitic_capacitance_ff(-0.1, 1.0)
+
+
+class TestQubitResonatorParasitic:
+    def test_uses_qubit_edge_as_default_length(self):
+        direct = resonator_parasitic_capacitance_ff(
+            0.2, constants.QUBIT_SIZE_MM)
+        assert qubit_resonator_parasitic_capacitance_ff(0.2) == \
+            pytest.approx(direct)

@@ -1,0 +1,117 @@
+"""Unit tests for the coupling-strength models (Eqs. 4-8)."""
+
+import numpy as np
+import pytest
+
+from repro.physics.coupling import (
+    dispersive_shift_ghz,
+    effective_coupling_ghz,
+    qubit_pair_coupling_vs_distance_ghz,
+    qubit_qubit_coupling_ghz,
+    resonator_pair_coupling_vs_distance_ghz,
+    resonator_resonator_coupling_ghz,
+    rip_gate_rate_rad_per_ns,
+    smooth_exchange_ghz,
+)
+
+
+class TestEq6:
+    def test_reference_value(self):
+        # g = 0.5*sqrt(w1 w2)*Cp/sqrt((C1+Cp)(C2+Cp));
+        # 5 GHz, Cp = 0.66 fF, C = 65 fF -> g ~ 25 MHz.
+        g = qubit_qubit_coupling_ghz(5.0, 5.0, 0.66, 65.0, 65.0)
+        assert 1e3 * g == pytest.approx(25.1, abs=0.5)
+
+    def test_symmetric_in_qubits(self):
+        a = qubit_qubit_coupling_ghz(4.9, 5.1, 0.5)
+        b = qubit_qubit_coupling_ghz(5.1, 4.9, 0.5)
+        assert a == pytest.approx(b)
+
+    def test_increases_with_cp(self):
+        gs = [qubit_qubit_coupling_ghz(5.0, 5.0, cp) for cp in (0.1, 0.5, 1.0)]
+        assert gs[0] < gs[1] < gs[2]
+
+    def test_zero_cp_zero_coupling(self):
+        assert qubit_qubit_coupling_ghz(5.0, 5.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qubit_qubit_coupling_ghz(-5.0, 5.0, 0.5)
+        with pytest.raises(ValueError):
+            qubit_qubit_coupling_ghz(5.0, 5.0, -0.5)
+
+    def test_resonator_variant_uses_big_capacitance(self):
+        g_res = resonator_resonator_coupling_ghz(6.5, 6.5, 0.66)
+        g_qub = qubit_qubit_coupling_ghz(6.5, 6.5, 0.66)
+        assert g_res < g_qub  # Cr = 400 fF >> Cq = 65 fF
+
+
+class TestEffectiveCoupling:
+    def test_resonant_returns_bare_g(self):
+        assert effective_coupling_ghz(0.025, 0.05) == pytest.approx(0.025)
+
+    def test_dispersive_reduction(self):
+        g_eff = effective_coupling_ghz(0.025, 0.5)
+        assert g_eff == pytest.approx(0.025 ** 2 / 0.5)
+
+    def test_threshold_boundary(self):
+        at = effective_coupling_ghz(0.02, 0.1, resonance_threshold_ghz=0.1)
+        beyond = effective_coupling_ghz(0.02, 0.1001, resonance_threshold_ghz=0.1)
+        assert at == pytest.approx(0.02)
+        assert beyond < at
+
+    def test_vectorised(self):
+        out = effective_coupling_ghz(0.02, np.array([0.0, 0.05, 0.5]))
+        assert out.shape == (3,)
+        assert out[0] == out[1] == pytest.approx(0.02)
+        assert out[2] < 0.02
+
+
+class TestSmoothExchange:
+    def test_peak_at_resonance(self):
+        assert smooth_exchange_ghz(0.025, 0.0) == pytest.approx(0.025)
+
+    def test_wing_limit(self):
+        # For Delta >> g the smooth curve approaches g^2/Delta.
+        val = smooth_exchange_ghz(0.025, 1.0)
+        assert val == pytest.approx(0.025 ** 2 / 1.0, rel=1e-3)
+
+    def test_even_in_detuning(self):
+        assert smooth_exchange_ghz(0.02, 0.3) == pytest.approx(
+            smooth_exchange_ghz(0.02, -0.3))
+
+
+class TestDispersiveShift:
+    def test_value(self):
+        chi = dispersive_shift_ghz(0.07, 5.0, 6.5)
+        assert chi == pytest.approx(0.07 ** 2 / 1.5)
+
+    def test_zero_detuning_rejected(self):
+        with pytest.raises(ValueError):
+            dispersive_shift_ghz(0.07, 6.5, 6.5)
+
+
+class TestDistanceCurves:
+    def test_qubit_curve_monotone(self):
+        d = np.linspace(0.02, 1.5, 40)
+        g = qubit_pair_coupling_vs_distance_ghz(d, 5.0, 5.0)
+        assert np.all(np.diff(g) < 0)
+
+    def test_resonator_curve_monotone(self):
+        d = np.linspace(0.02, 1.0, 40)
+        g = resonator_pair_coupling_vs_distance_ghz(d, 1.0, 6.5, 6.5)
+        assert np.all(np.diff(g) < 0)
+
+
+class TestRipGate:
+    def test_rate_positive(self):
+        assert rip_gate_rate_rad_per_ns(0.2, 0.3) > 0
+
+    def test_stronger_drive_faster_gate(self):
+        slow = rip_gate_rate_rad_per_ns(0.1, 0.3)
+        fast = rip_gate_rate_rad_per_ns(0.2, 0.3)
+        assert fast > slow
+
+    def test_resonant_drive_rejected(self):
+        with pytest.raises(ValueError):
+            rip_gate_rate_rad_per_ns(0.2, 0.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the exact small Hamiltonian models."""
+
+import numpy as np
+import pytest
+
+from repro.physics.hamiltonian import (
+    dressed_qubit_shift_ghz,
+    eigensplitting_ghz,
+    excitation_swap_probability,
+    jaynes_cummings_hamiltonian,
+    two_qubit_exchange_hamiltonian,
+    vacuum_rabi_frequencies,
+    worst_case_swap_probability,
+)
+
+
+class TestExchangeBlock:
+    def test_matrix_shape(self):
+        h = two_qubit_exchange_hamiltonian(5.0, 5.1, 0.02)
+        assert h.shape == (2, 2)
+        assert h[0, 1] == h[1, 0] == 0.02
+
+    def test_splitting_at_resonance(self):
+        # Vacuum-Rabi splitting 2g.
+        assert eigensplitting_ghz(5.0, 5.0, 0.02) == pytest.approx(0.04)
+
+    def test_splitting_detuned(self):
+        split = eigensplitting_ghz(5.0, 5.3, 0.02)
+        assert split == pytest.approx(np.sqrt(0.3 ** 2 + 4 * 0.02 ** 2))
+
+
+class TestSwapProbability:
+    def test_resonant_full_oscillation(self):
+        g = 0.001  # 1 MHz
+        # Half Rabi period: pi*2g*t = pi/2 -> t = 1/(4g)
+        t_half = 1.0 / (4.0 * g)
+        p = excitation_swap_probability(5.0, 5.0, g, t_half)
+        assert p == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_time_zero_probability(self):
+        assert excitation_swap_probability(5.0, 5.0, 0.01, 0.0) == 0.0
+
+    def test_zero_coupling_zero_probability(self):
+        assert excitation_swap_probability(5.0, 5.1, 0.0, 100.0) == 0.0
+
+    def test_detuning_suppresses_amplitude(self):
+        g, t = 0.002, 1000.0
+        resonant = max(excitation_swap_probability(5.0, 5.0, g, tt)
+                       for tt in np.linspace(0, t, 500))
+        detuned = max(excitation_swap_probability(5.0, 5.13, g, tt)
+                      for tt in np.linspace(0, t, 500))
+        assert detuned < 0.01 * resonant
+
+    def test_bounded_by_one(self):
+        for t in np.linspace(0, 500, 50):
+            p = excitation_swap_probability(5.0, 5.02, 0.01, t)
+            assert 0.0 <= p <= 1.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            excitation_swap_probability(5.0, 5.0, 0.01, -1.0)
+
+
+class TestWorstCase:
+    def test_envelope_reached(self):
+        g = 0.001
+        # Long exposure: the worst case saturates at the full amplitude.
+        p = worst_case_swap_probability(5.0, 5.0, g, 10000.0)
+        assert p == pytest.approx(1.0)
+
+    def test_monotone_in_time(self):
+        g = 0.0005
+        times = np.linspace(0, 2000, 40)
+        probs = [worst_case_swap_probability(5.0, 5.0, g, t) for t in times]
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_upper_bounds_instantaneous(self):
+        g, delta = 0.002, 0.05
+        for t in np.linspace(10, 3000, 25):
+            inst = excitation_swap_probability(5.0, 5.0 + delta, g, t)
+            worst = worst_case_swap_probability(5.0, 5.0 + delta, g, t)
+            assert worst >= inst - 1e-9
+
+
+class TestJaynesCummings:
+    def test_dimension(self):
+        h = jaynes_cummings_hamiltonian(5.0, 6.5, 0.07, n_photons=3)
+        assert h.shape == (8, 8)
+        assert np.allclose(h, h.T)
+
+    def test_dispersive_limit_matches_chi(self):
+        # Deep dispersive regime: dressed shift -> g^2/Delta (Eq. 8).
+        g, delta = 0.05, 1.5
+        shift = dressed_qubit_shift_ghz(5.0, 5.0 + delta, g)
+        assert shift == pytest.approx(-g * g / delta, rel=0.01)
+
+    def test_vacuum_rabi_splitting(self):
+        lo, hi = vacuum_rabi_frequencies(6.5, 6.5, 0.07)
+        assert hi - lo == pytest.approx(2 * 0.07)
+
+    def test_photon_validation(self):
+        with pytest.raises(ValueError):
+            jaynes_cummings_hamiltonian(5.0, 6.5, 0.07, n_photons=0)

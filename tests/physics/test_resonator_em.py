@@ -1,0 +1,48 @@
+"""Unit tests for half-wave resonator electromagnetics."""
+
+import pytest
+
+from repro.physics.resonator_em import (
+    harmonic_ghz,
+    resonator_frequency_ghz,
+    resonator_length_mm,
+)
+
+
+class TestHalfWaveRelation:
+    def test_paper_band_lengths(self):
+        # Sec. V-C: 6.0-7.0 GHz corresponds to 10.8 down to 9.2 mm.
+        assert resonator_length_mm(6.0) == pytest.approx(10.83, abs=0.01)
+        assert resonator_length_mm(7.0) == pytest.approx(9.29, abs=0.01)
+
+    def test_roundtrip(self):
+        for f in (5.5, 6.0, 6.5, 7.0):
+            assert resonator_frequency_ghz(resonator_length_mm(f)) == \
+                pytest.approx(f)
+
+    def test_monotone_decreasing(self):
+        assert resonator_length_mm(7.0) < resonator_length_mm(6.0)
+
+    def test_custom_velocity(self):
+        slow = resonator_length_mm(6.0, phase_velocity_mm_per_ns=100.0)
+        assert slow == pytest.approx(100.0 / 12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resonator_length_mm(0.0)
+        with pytest.raises(ValueError):
+            resonator_frequency_ghz(-1.0)
+
+
+class TestHarmonics:
+    def test_fundamental(self):
+        length = resonator_length_mm(6.5)
+        assert harmonic_ghz(length, 1) == pytest.approx(6.5)
+
+    def test_second_harmonic_doubles(self):
+        length = resonator_length_mm(6.5)
+        assert harmonic_ghz(length, 2) == pytest.approx(13.0)
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            harmonic_ghz(10.0, 0)

@@ -1,0 +1,60 @@
+"""Unit tests for the substrate box-mode model (Sec. III-C)."""
+
+import pytest
+
+from repro.physics.substrate_modes import (
+    check_layout_against_box_modes,
+    max_substrate_side_mm,
+    tm110_frequency_ghz,
+    tm_mode_frequency_ghz,
+)
+
+
+class TestTM110:
+    def test_paper_values(self):
+        # Sec. III-C: 12.41 GHz @ 5x5 mm^2, 6.20 GHz @ 10x10 mm^2.
+        assert tm110_frequency_ghz(5.0, 5.0) == pytest.approx(12.41, abs=0.05)
+        assert tm110_frequency_ghz(10.0, 10.0) == pytest.approx(6.20, abs=0.03)
+
+    def test_inverse_scaling(self):
+        assert tm110_frequency_ghz(10, 10) == pytest.approx(
+            tm110_frequency_ghz(5, 5) / 2.0)
+
+    def test_rectangular(self):
+        f = tm110_frequency_ghz(5.0, 10.0)
+        assert tm110_frequency_ghz(10.0, 10.0) < f < tm110_frequency_ghz(5.0, 5.0)
+
+    def test_higher_modes_higher_frequency(self):
+        f11 = tm_mode_frequency_ghz(8, 8, 1, 1)
+        f21 = tm_mode_frequency_ghz(8, 8, 2, 1)
+        f22 = tm_mode_frequency_ghz(8, 8, 2, 2)
+        assert f11 < f21 < f22
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tm110_frequency_ghz(0.0, 5.0)
+        with pytest.raises(ValueError):
+            tm_mode_frequency_ghz(5.0, 5.0, 0, 1)
+
+
+class TestMaxSide:
+    def test_roundtrip(self):
+        side = max_substrate_side_mm(7.0)
+        assert tm110_frequency_ghz(side, side) == pytest.approx(7.0)
+
+    def test_higher_ceiling_smaller_chip(self):
+        assert max_substrate_side_mm(8.0) < max_substrate_side_mm(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_substrate_side_mm(0.0)
+
+
+class TestCheck:
+    def test_small_chip_ok(self):
+        ok, margin = check_layout_against_box_modes(6.0, 6.0, 7.0)
+        assert ok and margin > 0
+
+    def test_large_chip_violates(self):
+        ok, margin = check_layout_against_box_modes(15.0, 15.0, 7.0)
+        assert not ok and margin < 0

@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["place", "grid-25"])
+        assert args.topology == "grid-25"
+        assert args.segment_size == 0.3
+        assert not args.classic
+
+    def test_evaluate_options(self):
+        args = build_parser().parse_args(
+            ["evaluate", "falcon-27", "--mappings", "7",
+             "--benchmarks", "bv-4,qgan-4"])
+        assert args.mappings == 7
+        assert args.benchmarks == "bv-4,qgan-4"
+
+
+class TestCommands:
+    def test_topologies(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "falcon-27" in out and "eagle-127" in out
+
+    def test_physics(self, capsys):
+        assert main(["physics"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.4" in out and "TM110" in out
+
+    def test_place_with_exports(self, capsys, tmp_path):
+        svg = tmp_path / "chip.svg"
+        gds = tmp_path / "chip.gds"
+        code = main(["place", "grid-25",
+                     "--svg", str(svg), "--gds", str(gds)])
+        assert code == 0
+        assert svg.exists() and gds.exists()
+        out = capsys.readouterr().out
+        assert "Ph (%)" in out
+
+    def test_place_classic(self, capsys):
+        assert main(["place", "grid-25", "--classic"]) == 0
+        assert "classic" in capsys.readouterr().out
+
+    def test_evaluate_small(self, capsys):
+        code = main(["evaluate", "grid-25", "--mappings", "3",
+                     "--benchmarks", "bv-4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig.11" in out and "Fig.12" in out and "Fig.13" in out
+
+    def test_unknown_topology_errors(self):
+        with pytest.raises(KeyError):
+            main(["place", "not-a-chip"])
