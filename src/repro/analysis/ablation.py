@@ -121,32 +121,47 @@ class _LegalizerOblivousQPlacer(QPlacer):
                                legalize_stats=stats, runtime_s=runtime)
 
 
-def ablation_experiment(topology_name: str,
-                        variants: Sequence[str] = ABLATION_VARIANTS,
-                        config: Optional[PlacerConfig] = None
-                        ) -> List[AblationRow]:
-    """Run every requested ablation variant on one topology."""
+def evaluate_ablation_variant(topology_name: str, variant: str,
+                              config: Optional[PlacerConfig] = None
+                              ) -> AblationRow:
+    """Place and score one ablation variant (one parallelisable job)."""
     base = config if config is not None else PlacerConfig()
     netlist = build_netlist(get_topology(topology_name))
-    rows: List[AblationRow] = []
-    for variant in variants:
-        cfg = _variant_config(base, variant)
-        if variant == "no-freq-legalizer":
-            placer: QPlacer = _LegalizerOblivousQPlacer(cfg)
-        else:
-            placer = QPlacer(cfg)
-        result = placer.place(netlist)
-        metrics = compute_layout_metrics(result.layout)
-        rows.append(AblationRow(
-            topology=topology_name,
-            variant=variant,
-            ph_percent=metrics.ph_percent,
-            impacted_qubits=metrics.impacted_qubits,
-            amer_mm2=metrics.amer_mm2,
-            integrity=resonator_integrity(result.layout),
-            runtime_s=result.runtime_s,
-        ))
-    return rows
+    cfg = _variant_config(base, variant)
+    if variant == "no-freq-legalizer":
+        placer: QPlacer = _LegalizerOblivousQPlacer(cfg)
+    else:
+        placer = QPlacer(cfg)
+    result = placer.place(netlist)
+    metrics = compute_layout_metrics(result.layout)
+    return AblationRow(
+        topology=topology_name,
+        variant=variant,
+        ph_percent=metrics.ph_percent,
+        impacted_qubits=metrics.impacted_qubits,
+        amer_mm2=metrics.amer_mm2,
+        integrity=resonator_integrity(result.layout),
+        runtime_s=result.runtime_s,
+    )
+
+
+def ablation_experiment(topology_name: str,
+                        variants: Sequence[str] = ABLATION_VARIANTS,
+                        config: Optional[PlacerConfig] = None,
+                        runner: Optional["ParallelRunner"] = None
+                        ) -> List[AblationRow]:
+    """Run every requested ablation variant on one topology.
+
+    Variants are independent placements and fan out across the runner's
+    process pool; rows come back in ``variants`` order.
+    """
+    from .runner import AblationJob, ParallelRunner, run_ablation_job
+
+    if runner is None:
+        runner = ParallelRunner()
+    jobs = [AblationJob(topology=topology_name, variant=v, config=config)
+            for v in variants]
+    return runner.map(run_ablation_job, jobs, namespace="ablation")
 
 
 @dataclass(frozen=True)

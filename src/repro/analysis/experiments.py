@@ -34,9 +34,8 @@ from ..circuits.library import PAPER_BENCHMARKS, get_benchmark
 from ..circuits.mapping import MappedCircuit, evaluation_mappings
 from ..core.config import PlacerConfig
 from ..core.placer import PlacementResult, QPlacer
-from ..crosstalk.fidelity import estimate_program_fidelity
+from ..crosstalk.fidelity import ViolationTable, estimate_program_fidelity
 from ..crosstalk.noise_model import NoiseParams
-from ..crosstalk.violations import find_spatial_violations
 from ..devices.layout import Layout
 from ..devices.netlist import QuantumNetlist, build_netlist
 from ..devices.topology import PAPER_TOPOLOGY_ORDER, Topology, get_topology
@@ -129,7 +128,7 @@ def fidelity_experiment(suite: PlacementSuite,
     benchmark fits every Table I topology).
     """
     violations = {
-        name: find_spatial_violations(layout)
+        name: ViolationTable.build(layout)
         for name, layout in suite.layouts.items()
     }
     table: Dict[str, Dict[str, float]] = {}
@@ -224,25 +223,24 @@ class SweepRow:
 
 def segment_sweep(topology_name: str,
                   segment_sizes: Sequence[float] = constants.SEGMENT_SIZE_SWEEP_MM,
-                  config: Optional[PlacerConfig] = None) -> List[SweepRow]:
-    """Sweep the resonator segment size ``lb`` (Fig. 15, Table II)."""
-    rows: List[SweepRow] = []
-    for lb in segment_sizes:
-        suite = build_suite(topology_name, segment_size_mm=lb,
-                            strategies=("qplacer",), config=config)
-        result = suite.results["qplacer"]
-        assert result is not None
-        m = compute_layout_metrics(suite.layouts["qplacer"])
-        rows.append(SweepRow(
-            topology=topology_name,
-            segment_size_mm=lb,
-            num_cells=result.num_cells,
-            utilization=m.utilization,
-            ph_percent=m.ph_percent,
-            runtime_s=result.runtime_s,
-            avg_iteration_s=result.avg_iteration_s,
-        ))
-    return rows
+                  config: Optional[PlacerConfig] = None,
+                  runner: Optional["ParallelRunner"] = None) -> List[SweepRow]:
+    """Sweep the resonator segment size ``lb`` (Fig. 15, Table II).
+
+    Sweep points are independent placement jobs, so they fan out across
+    the ``runner``'s worker pool (a default runner is created when none
+    is passed).
+    """
+    from .runner import ParallelRunner, PlacementJob, SweepJob, run_sweep_job
+
+    if runner is None:
+        runner = ParallelRunner()
+    jobs = [SweepJob(PlacementJob(topology=topology_name,
+                                  segment_size_mm=lb,
+                                  strategies=("qplacer",),
+                                  config=config))
+            for lb in segment_sizes]
+    return runner.map(run_sweep_job, jobs, namespace="sweep")
 
 
 # ---------------------------------------------------------------------------
@@ -328,21 +326,33 @@ def run_full_evaluation(topology_names: Sequence[str] = PAPER_TOPOLOGY_ORDER,
                         benchmarks: Sequence[str] = PAPER_BENCHMARKS,
                         num_mappings: int = constants.DEFAULT_NUM_MAPPINGS,
                         segment_size_mm: float = constants.DEFAULT_SEGMENT_SIZE_MM,
-                        config: Optional[PlacerConfig] = None
+                        config: Optional[PlacerConfig] = None,
+                        runner: Optional["ParallelRunner"] = None
                         ) -> Dict[str, Dict[str, object]]:
     """The paper's whole evaluation: Figs. 11-13 for every topology.
+
+    Each topology is one :class:`~repro.analysis.runner.EvaluationJob`
+    dispatched through the ``runner`` (process pool + on-disk cache);
+    results are assembled in topology order, so the output is identical
+    to a serial evaluation regardless of worker count.
 
     Returns a nested dict keyed by topology with ``fidelity`` (Fig. 11),
     ``summary`` (Fig. 12), and ``area_ratio`` (Fig. 13) entries.
     """
-    out: Dict[str, Dict[str, object]] = {}
-    for name in topology_names:
-        suite = build_suite(name, segment_size_mm=segment_size_mm, config=config)
-        fidelity = fidelity_experiment(suite, benchmarks, num_mappings)
-        out[name] = {
-            "fidelity": fidelity,
-            "summary": summary_experiment(suite, benchmarks, num_mappings,
-                                          fidelity=fidelity),
-            "area_ratio": area_experiment(suite),
-        }
-    return out
+    from .runner import (EvaluationJob, ParallelRunner, PlacementJob,
+                         run_topology_evaluation)
+
+    if runner is None:
+        runner = ParallelRunner()
+    jobs = [
+        EvaluationJob(
+            placement=PlacementJob(topology=name,
+                                   segment_size_mm=segment_size_mm,
+                                   config=config),
+            benchmarks=tuple(benchmarks),
+            num_mappings=num_mappings,
+        )
+        for name in topology_names
+    ]
+    results = runner.map(run_topology_evaluation, jobs, namespace="evaluation")
+    return dict(zip(topology_names, results))

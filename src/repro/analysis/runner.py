@@ -1,0 +1,310 @@
+"""Parallel experiment orchestration: jobs, process pools, result cache.
+
+Every evaluation artefact of the paper decomposes into *placement jobs*
+— (topology, config, seed) triples placed by one or more strategies —
+followed by cheap aggregation.  This module turns that shape into a
+subsystem:
+
+* :class:`PlacementJob` — a frozen, hashable description of one
+  placement unit of work with deterministic per-job seeding;
+* :class:`ParallelRunner` — fans job lists across a
+  ``concurrent.futures`` process pool (falling back to in-process
+  execution for single workers) with an optional on-disk result cache
+  keyed by a config/topology hash;
+* module-level worker functions (:func:`run_placement_job`,
+  :func:`run_topology_evaluation`, ...) that the experiment pipelines
+  submit, picklable by construction.
+
+Determinism: a job's outcome depends only on its fields — workers
+receive the full job description and recompute from scratch, so a
+parallel run is bit-identical to a serial run of the same jobs, and a
+cache hit returns exactly what the original execution produced (results
+round-trip through pickle, which preserves float64 bit patterns).
+
+Cache layout: ``<cache_dir>/<namespace>/<sha256-of-job>.pkl``.  The
+cache directory defaults to the ``REPRO_CACHE_DIR`` environment
+variable; caching is disabled when neither that variable nor the
+``cache_dir`` argument is set.  Hashes cover the job fields, the full
+placer configuration, and :data:`CACHE_SCHEMA_VERSION` — bump the
+version whenever an algorithm change invalidates previous results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import constants
+from ..core.config import PlacerConfig
+
+#: Bump when placement/evaluation semantics change so stale cached
+#: results are never returned.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON-serialisable canonical form of a job field."""
+    if isinstance(obj, PlacerConfig):
+        return {"__config__": dataclasses.asdict(obj)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__,
+                "fields": _canonical(dataclasses.asdict(obj))}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for cache key")
+
+
+def job_token(job: Any, namespace: str = "") -> str:
+    """Stable sha256 token of a job description (cache key)."""
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "namespace": namespace,
+         "job": _canonical(job)},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-job seed from a base seed and job index.
+
+    Decorrelates jobs without the collisions of ``base + index`` when
+    sweeps themselves vary the base seed.  Use it when expanding one
+    job description into a multi-seed batch::
+
+        jobs = [replace(job, seed=derive_seed(base, k)) for k in range(n)]
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+@dataclass(frozen=True)
+class PlacementJob:
+    """One placement unit of work: topology x config x seed.
+
+    Attributes:
+        topology: Registered topology name.
+        segment_size_mm: Resonator segment size ``lb``.
+        strategies: Strategy names to place ("qplacer", "classic",
+            "human" — the :data:`~repro.analysis.experiments.STRATEGIES`
+            subset to run).
+        config: Base placer configuration (``None`` = defaults).
+        seed: Optional seed override applied to the config.
+    """
+
+    topology: str
+    segment_size_mm: float = constants.DEFAULT_SEGMENT_SIZE_MM
+    strategies: Tuple[str, ...] = ("qplacer", "classic", "human")
+    config: Optional[PlacerConfig] = None
+    seed: Optional[int] = None
+
+    def resolved_config(self) -> PlacerConfig:
+        """The effective configuration (segment size and seed applied)."""
+        cfg = self.config if self.config is not None else PlacerConfig()
+        cfg = cfg.with_segment_size(self.segment_size_mm)
+        if self.seed is not None:
+            cfg = replace(cfg, seed=self.seed)
+        return cfg
+
+
+def run_placement_job(job: PlacementJob):
+    """Worker: place one :class:`PlacementJob` into a suite.
+
+    Module-level so process pools can pickle it.
+    """
+    from .experiments import build_suite
+
+    return build_suite(job.topology,
+                       segment_size_mm=job.segment_size_mm,
+                       strategies=job.strategies,
+                       config=job.resolved_config())
+
+
+@dataclass(frozen=True)
+class EvaluationJob:
+    """One full per-topology evaluation (Figs. 11-13) unit of work."""
+
+    placement: PlacementJob
+    benchmarks: Tuple[str, ...]
+    num_mappings: int = constants.DEFAULT_NUM_MAPPINGS
+    base_seed: int = 0
+
+
+def run_topology_evaluation(job: EvaluationJob) -> Dict[str, object]:
+    """Worker: suite + fidelity + summary + area for one topology."""
+    from .experiments import (area_experiment, fidelity_experiment,
+                              summary_experiment)
+
+    suite = run_placement_job(job.placement)
+    fidelity = fidelity_experiment(suite, job.benchmarks, job.num_mappings,
+                                   base_seed=job.base_seed)
+    return {
+        "fidelity": fidelity,
+        "summary": summary_experiment(suite, job.benchmarks,
+                                      job.num_mappings, fidelity=fidelity),
+        "area_ratio": area_experiment(suite),
+    }
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One segment-size point of the Fig. 15 / Table II sweep."""
+
+    placement: PlacementJob
+
+
+def run_sweep_job(job: SweepJob):
+    """Worker: place one sweep point and compute its Table II row."""
+    from .experiments import SweepRow
+    from .metrics import compute_layout_metrics
+
+    suite = run_placement_job(job.placement)
+    result = suite.results["qplacer"]
+    assert result is not None
+    m = compute_layout_metrics(suite.layouts["qplacer"])
+    return SweepRow(
+        topology=job.placement.topology,
+        segment_size_mm=job.placement.segment_size_mm,
+        num_cells=result.num_cells,
+        utilization=m.utilization,
+        ph_percent=m.ph_percent,
+        runtime_s=result.runtime_s,
+        avg_iteration_s=result.avg_iteration_s,
+    )
+
+
+@dataclass(frozen=True)
+class AblationJob:
+    """One ablation variant on one topology."""
+
+    topology: str
+    variant: str
+    config: Optional[PlacerConfig] = None
+
+
+def run_ablation_job(job: AblationJob):
+    """Worker: evaluate one ablation variant row."""
+    from .ablation import evaluate_ablation_variant
+
+    return evaluate_ablation_variant(job.topology, job.variant, job.config)
+
+
+class ParallelRunner:
+    """Fan homogeneous jobs across workers with an optional disk cache.
+
+    Args:
+        max_workers: Process-pool size.  ``None`` uses ``os.cpu_count()``;
+            values <= 1 run jobs in-process (no pool, no pickling).
+        cache_dir: Directory for the on-disk result cache.  ``None``
+            falls back to ``$REPRO_CACHE_DIR``; caching is off when both
+            are unset.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache_dir: Optional[os.PathLike] = None) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        if cache_dir is None:
+            env = os.environ.get(CACHE_ENV_VAR, "")
+            cache_dir = Path(env) if env else None
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache -----------------------------------------------------------------
+
+    def _cache_path(self, namespace: str, token: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / namespace / f"{token}.pkl"
+
+    def _cache_load(self, path: Optional[Path]) -> Tuple[bool, Any]:
+        if path is None or not path.exists():
+            return False, None
+        try:
+            with open(path, "rb") as fh:
+                return True, pickle.load(fh)
+        except Exception:
+            # Torn/stale cache entries are recomputed, never fatal.
+            return False, None
+
+    def _cache_store(self, path: Optional[Path], value: Any) -> None:
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            tmp.unlink(missing_ok=True)
+
+    # -- execution --------------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], jobs: Sequence[Any],
+            namespace: Optional[str] = None) -> List[Any]:
+        """Run ``fn`` over ``jobs``; results in job order.
+
+        Args:
+            fn: Module-level worker function (picklable).
+            jobs: Job descriptions (frozen dataclasses of primitives).
+            namespace: Cache namespace; defaults to the worker's name.
+                Results are cached on disk when the runner has a cache
+                directory.
+        """
+        if namespace is None:
+            namespace = getattr(fn, "__name__", "jobs")
+        results: List[Any] = [None] * len(jobs)
+        paths: List[Optional[Path]] = [None] * len(jobs)
+        pending: List[int] = []
+        for k, job in enumerate(jobs):
+            path = None
+            if self.cache_dir is not None:
+                path = self._cache_path(namespace, job_token(job, namespace))
+                hit, value = self._cache_load(path)
+                if hit:
+                    self.cache_hits += 1
+                    results[k] = value
+                    continue
+                self.cache_misses += 1
+            paths[k] = path
+            pending.append(k)
+
+        if pending:
+            todo = [jobs[k] for k in pending]
+            if self.max_workers <= 1 or len(pending) == 1:
+                computed = [fn(job) for job in todo]
+            else:
+                workers = min(self.max_workers, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    computed = list(pool.map(fn, todo))
+            for k, value in zip(pending, computed):
+                results[k] = value
+                self._cache_store(paths[k], value)
+        return results
+
+    def run_suites(self, jobs: Sequence[PlacementJob]) -> List[Any]:
+        """Place every job; returns the suites in job order."""
+        return self.map(run_placement_job, jobs, namespace="suite")
+
+
+def default_runner(max_workers: Optional[int] = None,
+                   cache_dir: Optional[os.PathLike] = None) -> ParallelRunner:
+    """A runner with environment-driven defaults (one per call site)."""
+    return ParallelRunner(max_workers=max_workers, cache_dir=cache_dir)

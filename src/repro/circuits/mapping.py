@@ -137,10 +137,8 @@ def initial_placement(circuit: QuantumCircuit, topology: Topology,
     subset = list(subset)
     if circuit.num_qubits > len(subset):
         raise ValueError("subset smaller than circuit width")
-    sub_lengths = {
-        s: nx.single_source_shortest_path_length(topology.graph, s)
-        for s in subset
-    }
+    all_lengths = topology.hop_distances()
+    sub_lengths = {s: all_lengths[s] for s in subset}
     weights = interaction_weights(circuit)
     degree: Counter = Counter()
     for (a, b), w in weights.items():

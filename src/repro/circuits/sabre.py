@@ -96,8 +96,7 @@ def route_sabre(circuit: QuantumCircuit, topology: Topology,
     Returns:
         ``(physical_circuit, final_mapping, swap_count)``.
     """
-    dist = {s: d for s, d in
-            nx.all_pairs_shortest_path_length(topology.graph)}
+    dist = topology.hop_distances()
     dag = _DependencyDag(circuit)
     logical_at: Dict[int, int] = dict(mapping)
     physical_of: Dict[int, int] = {p: l for l, p in mapping.items()}

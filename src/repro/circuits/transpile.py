@@ -18,12 +18,25 @@ Decompositions (all exact up to global phase):
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import List
 
 from .circuit import QuantumCircuit
 from .gates import BASIS_GATES, Gate
 
 _TWO_PI = 2.0 * math.pi
+_HALF_PI = math.pi / 2
+
+
+@lru_cache(maxsize=4096)
+def _cached_gate(name: str, qubits: tuple, params: tuple = ()) -> Gate:
+    """Interned gate instances for the decomposition templates.
+
+    Gates are frozen, so identical (name, qubits, params) triples can
+    share one object — the lowering pass creates the same handful of
+    gates per qubit over and over in the mapping hot loop.
+    """
+    return Gate(name, qubits, params)
 
 
 def _lower_gate(gate: Gate) -> List[Gate]:
@@ -33,35 +46,44 @@ def _lower_gate(gate: Gate) -> List[Gate]:
         return [gate]
     if name == "h":
         (q,) = gate.qubits
-        return [Gate("rz", (q,), (math.pi / 2,)), Gate("sx", (q,)),
-                Gate("rz", (q,), (math.pi / 2,))]
+        rz_half = _cached_gate("rz", (q,), (_HALF_PI,))
+        return [rz_half, _cached_gate("sx", (q,)), rz_half]
     if name == "rx":
         (q,) = gate.qubits
-        return [Gate("h", (q,)), Gate("rz", (q,), gate.params), Gate("h", (q,))]
+        h = _cached_gate("h", (q,))
+        return [h, Gate("rz", (q,), gate.params), h]
     if name == "ry":
         (q,) = gate.qubits
-        return [Gate("rz", (q,), (-math.pi / 2,)), Gate("rx", (q,), gate.params),
-                Gate("rz", (q,), (math.pi / 2,))]
+        return [_cached_gate("rz", (q,), (-_HALF_PI,)),
+                Gate("rx", (q,), gate.params),
+                _cached_gate("rz", (q,), (_HALF_PI,))]
     if name == "cx":
         c, t = gate.qubits
-        return [Gate("h", (t,)), Gate("cz", (c, t)), Gate("h", (t,))]
+        return [_cached_gate("h", (t,)), _cached_gate("cz", (c, t)),
+                _cached_gate("h", (t,))]
     if name == "rzz":
         a, b = gate.qubits
-        return [Gate("cx", (a, b)), Gate("rz", (b,), gate.params), Gate("cx", (a, b))]
+        cx_ab = _cached_gate("cx", (a, b))
+        return [cx_ab, Gate("rz", (b,), gate.params), cx_ab]
     if name == "swap":
         a, b = gate.qubits
-        return [Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("cx", (a, b))]
+        cx_ab = _cached_gate("cx", (a, b))
+        return [cx_ab, _cached_gate("cx", (b, a)), cx_ab]
     raise ValueError(f"no decomposition for gate {name!r}")
 
 
 def lower_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
     """Recursively lower every gate to the native basis."""
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    # The passes below bypass QuantumCircuit.append: every emitted gate
+    # acts on qubits of an already-validated input gate, so re-checking
+    # indices per gate only burns time in the mapping hot loop.
+    emit = out.gates.append
     stack: List[Gate] = list(reversed(circuit.gates))
     while stack:
         gate = stack.pop()
         if gate.name in BASIS_GATES or gate.name == "barrier":
-            out.append(gate)
+            emit(gate)
         else:
             stack.extend(reversed(_lower_gate(gate)))
     return out
@@ -74,13 +96,14 @@ def merge_rz(circuit: QuantumCircuit) -> QuantumCircuit:
     rotations accumulate, and a zero net rotation disappears entirely.
     """
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    emit = out.gates.append  # inputs already validated, see lower_to_basis
     pending: dict = {}
 
     def flush(q: int) -> None:
         angle = pending.pop(q, 0.0)
         angle = math.remainder(angle, _TWO_PI)
         if abs(angle) > 1e-12:
-            out.append(Gate("rz", (q,), (angle,)))
+            emit(Gate("rz", (q,), (angle,)))
 
     for gate in circuit.gates:
         if gate.name == "rz":
@@ -90,7 +113,7 @@ def merge_rz(circuit: QuantumCircuit) -> QuantumCircuit:
         for q in gate.qubits:
             if q in pending:
                 flush(q)
-        out.append(gate)
+        emit(gate)
     for q in sorted(pending):
         flush(q)
     return out
@@ -130,9 +153,7 @@ def cancel_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
             last_on_qubit[q] = idx
 
     out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
-    for gate in out_gates:
-        if gate is not None:
-            out.append(gate)
+    out.gates.extend(g for g in out_gates if g is not None)
     return out
 
 

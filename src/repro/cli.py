@@ -4,6 +4,9 @@ Commands:
 
 * ``place``     — place a topology and print/export the layout
 * ``evaluate``  — Fig. 11/12/13 evaluation on one topology
+* ``evaluate-all`` — the whole paper evaluation across topologies,
+  fanned over a process pool (``--jobs``) with an optional on-disk
+  result cache (``--cache-dir`` / ``$REPRO_CACHE_DIR``)
 * ``sweep``     — Fig. 15 / Table II segment-size sweep
 * ``ablation``  — design-choice ablation table
 * ``physics``   — the Fig. 4/5/6 physics curves and TM110 table
@@ -31,7 +34,12 @@ from .analysis import (
     sweep_table,
 )
 from .analysis.ablation import ablation_experiment
+from .analysis.experiments import run_full_evaluation
+from .analysis.runner import ParallelRunner
 from .core import PlacerConfig, QPlacer
+
+#: Default benchmark subset for the evaluate commands (5 of the 8).
+DEFAULT_CLI_BENCHMARKS = ("bv-4", "bv-16", "qaoa-9", "ising-4", "qgan-4")
 from .devices import PAPER_TOPOLOGY_ORDER, TOPOLOGY_FACTORIES, build_netlist, get_topology
 from .io import save_gds, save_layout, save_svg
 
@@ -43,6 +51,18 @@ def _add_common_placer_args(parser: argparse.ArgumentParser) -> None:
                         help="resonator segment size lb in mm (default 0.3)")
     parser.add_argument("--seed", type=int, default=0,
                         help="placement seed (default 0)")
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: CPU count)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache directory "
+                             "(default: $REPRO_CACHE_DIR, unset = off)")
+
+
+def _runner_from(args: argparse.Namespace) -> ParallelRunner:
+    return ParallelRunner(max_workers=args.jobs, cache_dir=args.cache_dir)
 
 
 def _config_from(args: argparse.Namespace) -> PlacerConfig:
@@ -99,7 +119,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     suite = build_suite(args.topology, segment_size_mm=args.segment_size,
                         config=config)
     benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else \
-        ("bv-4", "bv-16", "qaoa-9", "ising-4", "qgan-4")
+        DEFAULT_CLI_BENCHMARKS
     fidelity = fidelity_experiment(suite, benchmarks=benchmarks,
                                    num_mappings=args.mappings)
     print(fidelity_table(fidelity, args.topology))
@@ -115,16 +135,46 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_evaluate_all(args: argparse.Namespace) -> int:
+    topologies = (tuple(args.topologies.split(","))
+                  if args.topologies else PAPER_TOPOLOGY_ORDER)
+    benchmarks = (tuple(args.benchmarks.split(",")) if args.benchmarks else
+                  DEFAULT_CLI_BENCHMARKS)
+    runner = _runner_from(args)
+    results = run_full_evaluation(
+        topology_names=topologies, benchmarks=benchmarks,
+        num_mappings=args.mappings,
+        segment_size_mm=args.segment_size,
+        config=PlacerConfig(segment_size_mm=args.segment_size,
+                            seed=args.seed),
+        runner=runner)
+    for name, entry in results.items():
+        print(fidelity_table(entry["fidelity"], name))
+        print()
+        print(summary_table(entry["summary"]))
+        print()
+        rows = [[s, f"{r:.3f}"] for s, r in sorted(entry["area_ratio"].items())]
+        print(format_table(["strategy", "Amer ratio"], rows,
+                           title=f"Fig.13 area ratios — {name}"))
+        print()
+    if runner.cache_dir is not None:
+        print(f"cache: {runner.cache_hits} hits, {runner.cache_misses} "
+              f"misses under {runner.cache_dir}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     rows = segment_sweep(args.topology,
-                         config=PlacerConfig(seed=args.seed))
+                         config=PlacerConfig(seed=args.seed),
+                         runner=_runner_from(args))
     print(sweep_table(rows))
     return 0
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
     rows = ablation_experiment(args.topology,
-                               config=_config_from(args))
+                               config=_config_from(args),
+                               runner=_runner_from(args))
     body = [[r.variant, f"{r.ph_percent:.3f}", r.impacted_qubits,
              f"{r.amer_mm2:.1f}", f"{r.integrity:.2f}",
              f"{r.runtime_s:.1f}"]
@@ -189,13 +239,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated benchmark list (default: 5 of 8)")
     p.set_defaults(func=cmd_evaluate)
 
+    p = sub.add_parser("evaluate-all",
+                       help="whole-paper evaluation, parallel across "
+                            "topologies")
+    p.add_argument("--topologies",
+                   help="comma-separated topology list (default: all six)")
+    p.add_argument("--segment-size", type=float,
+                   default=constants.DEFAULT_SEGMENT_SIZE_MM)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mappings", type=int, default=12,
+                   help="mapping subsets per benchmark (paper: 50)")
+    p.add_argument("--benchmarks",
+                   help="comma-separated benchmark list (default: 5 of 8)")
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_evaluate_all)
+
     p = sub.add_parser("sweep", help="Fig. 15 / Table II segment-size sweep")
     p.add_argument("topology")
     p.add_argument("--seed", type=int, default=0)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("ablation", help="design-choice ablation table")
     _add_common_placer_args(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_ablation)
 
     p = sub.add_parser("physics", help="Fig. 4/5/6 physics tables")

@@ -111,13 +111,22 @@ class DensityGrid:
 
     def rasterize(self, positions: np.ndarray) -> np.ndarray:
         """Area-per-bin density map for the given positions."""
-        rho = np.zeros((self.num_bins, self.num_bins))
+        nb2 = self.num_bins * self.num_bins
+        flat_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
         for idxs, win_x, win_y in self._groups:
             cols, rows, ox, oy = self._window_overlaps(idxs, positions, win_x, win_y)
             weights = ox[:, :, None] * oy[:, None, :]  # (g, win_x, win_y)
             flat = (cols[:, :, None] * self.num_bins + rows[:, None, :])
-            np.add.at(rho.ravel(), flat.ravel(), weights.ravel())
-        return rho
+            flat_parts.append(flat.ravel())
+            weight_parts.append(weights.ravel())
+        # One bincount over the concatenated index stream scatter-adds in
+        # the same sequential order as the former per-group np.add.at,
+        # bit for bit, while running an order of magnitude faster.
+        rho = np.bincount(np.concatenate(flat_parts),
+                          weights=np.concatenate(weight_parts),
+                          minlength=nb2)
+        return rho.reshape(self.num_bins, self.num_bins)
 
     # -- field solve -------------------------------------------------------------
 

@@ -66,17 +66,30 @@ class DetailedPlacer:
         for net_idx, (a, b) in enumerate(problem.nets):
             self._nets_by_instance.setdefault(int(a), []).append(net_idx)
             self._nets_by_instance.setdefault(int(b), []).append(net_idx)
+        # Net partners per instance: all 2-pin nets of instance i reduce
+        # to |pos[i] - pos[partner]|, so wirelength sums vectorize over
+        # one int array per instance.
+        self._partners: Dict[int, np.ndarray] = {}
+        for inst, net_ids in self._nets_by_instance.items():
+            self._partners[inst] = np.array(
+                [int(problem.nets[k, 1]) if int(problem.nets[k, 0]) == inst
+                 else int(problem.nets[k, 0]) for k in net_ids],
+                dtype=np.int64)
+        # Same-kind groups: instances are swappable when both are qubits
+        # or both segments with equal footprints.
+        kind_keys = np.column_stack([
+            problem.is_qubit.astype(np.int64),
+            problem.sizes[:, 0], problem.sizes[:, 1]])
+        _, self._kind_id = np.unique(kind_keys, axis=0, return_inverse=True)
 
     # -- wirelength deltas -------------------------------------------------------
 
     def _instance_wl(self, positions: np.ndarray, inst: int) -> float:
         """Wirelength of all nets touching one instance."""
-        total = 0.0
-        for net_idx in self._nets_by_instance.get(inst, ()):
-            a, b = self.problem.nets[net_idx]
-            delta = positions[a] - positions[b]
-            total += abs(float(delta[0])) + abs(float(delta[1]))
-        return total
+        partners = self._partners.get(inst)
+        if partners is None:
+            return 0.0
+        return float(np.abs(positions[inst] - positions[partners]).sum())
 
     def _pair_wl(self, positions: np.ndarray, i: int, j: int) -> float:
         """Combined wirelength of the nets of two instances.
@@ -85,6 +98,29 @@ class DetailedPlacer:
         deltas stay correct.
         """
         return self._instance_wl(positions, i) + self._instance_wl(positions, j)
+
+    def _swap_gain(self, positions: np.ndarray, i: int, j: int) -> float:
+        """Wirelength gain of swapping the sites of ``i`` and ``j``.
+
+        Evaluates the same quantity as ``_pair_wl(before) -
+        _pair_wl(after-swap)`` without materialising a swapped copy of
+        the position array.
+        """
+        pi, pj = positions[i], positions[j]
+        gain = 0.0
+        for inst, other, new_pos in ((i, j, pj), (j, i, pi)):
+            partners = self._partners.get(inst)
+            if partners is None:
+                continue
+            pp = positions[partners]
+            before = np.abs(positions[inst] - pp).sum()
+            # After the swap the partner that *is* the swap peer has
+            # moved to this instance's old site.
+            pp = pp.copy()
+            pp[partners == other] = positions[inst]
+            after = np.abs(new_pos - pp).sum()
+            gain += float(before - after)
+        return gain
 
     # -- feasibility --------------------------------------------------------------
 
@@ -139,32 +175,26 @@ class DetailedPlacer:
         legalizer = Legalizer(p, self.config)
         legalizer.positions = positions.copy()
         for i in range(p.num_instances):
-            legalizer._hash.add(i, positions[i, 0], positions[i, 1])
-            legalizer._placed.add(i)
+            legalizer._place(i, positions[i, 0], positions[i, 1])
 
         stats = DetailedPlaceStats(hpwl_before=hpwl(positions, p.nets))
-
-        def same_kind(i: int, j: int) -> bool:
-            return (bool(p.is_qubit[i]) == bool(p.is_qubit[j])
-                    and bool(np.allclose(p.sizes[i], p.sizes[j])))
+        kind_id = self._kind_id
 
         for _ in range(max_passes):
             stats.passes += 1
             improved = False
-            order = sorted(range(p.num_instances),
-                           key=lambda i: -self._instance_wl(legalizer.positions, i))
+            wl_all = np.array([self._instance_wl(legalizer.positions, i)
+                               for i in range(p.num_instances)])
+            order = np.argsort(-wl_all, kind="stable")
             for i in order:
+                i = int(i)
                 xi, yi = legalizer.positions[i]
                 best_gain = 1e-9
                 best_partner = None
                 for j in legalizer._hash.near(xi, yi, neighbor_radius_mm):
-                    if j == i or not same_kind(i, j):
+                    if j == i or kind_id[j] != kind_id[i]:
                         continue
-                    before = self._pair_wl(legalizer.positions, i, j)
-                    trial = legalizer.positions.copy()
-                    trial[[i, j]] = trial[[j, i]]
-                    after = self._pair_wl(trial, i, j)
-                    gain = before - after
+                    gain = self._swap_gain(legalizer.positions, i, j)
                     if gain > best_gain:
                         best_gain = gain
                         best_partner = j

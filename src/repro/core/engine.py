@@ -82,6 +82,11 @@ class GlobalPlacer:
         self._lambda_freq = 0.0
         self._last_overflow = 1.0
         self._last_parts: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+        # Static scatter index for the frequency force (pairs never
+        # change between iterations).
+        pairs = problem.collision_pairs
+        self._freq_pair_index = (
+            np.concatenate([pairs[:, 0], pairs[:, 1]]) if pairs.size else None)
 
     # -- objective ---------------------------------------------------------------
 
@@ -96,7 +101,8 @@ class GlobalPlacer:
         if cfg.frequency_aware and self.problem.collision_pairs.size:
             freq_energy, freq_grad = frequency_energy_and_grad(
                 positions, self.problem.collision_pairs,
-                cfg.freq_force_smoothing_mm)
+                cfg.freq_force_smoothing_mm,
+                pair_index=self._freq_pair_index)
             value += self._lambda_freq * freq_energy
             grad = grad + self._lambda_freq * freq_grad
         self._last_overflow = dens.overflow

@@ -21,13 +21,19 @@ import numpy as np
 
 def frequency_energy_and_grad(positions: np.ndarray,
                               collision_pairs: np.ndarray,
-                              smoothing_mm: float) -> Tuple[float, np.ndarray]:
+                              smoothing_mm: float,
+                              pair_index: np.ndarray = None
+                              ) -> Tuple[float, np.ndarray]:
     """Total repulsive potential and its gradient.
 
     Args:
         positions: ``(n, 2)`` instance centres.
         collision_pairs: ``(p, 2)`` precomputed resonant pairs.
         smoothing_mm: Softening length ``s`` (mm).
+        pair_index: Optional precomputed ``concatenate([a, b])`` of the
+            pair columns — the optimizer evaluates this function every
+            iteration with the same static pair set, so the caller can
+            build the scatter index once.
 
     Returns:
         ``(energy, grad)`` with ``grad`` shaped ``(n, 2)``.
@@ -44,9 +50,18 @@ def frequency_energy_and_grad(positions: np.ndarray,
     inv = 1.0 / np.sqrt(dist2)
     energy = float(inv.sum())
     # dU/dp_a = -delta / (d^2 + s^2)^(3/2)  (repulsion: -grad pushes apart)
-    coeff = (inv / dist2)[:, None]
-    np.add.at(grad, a, -delta * coeff)
-    np.add.at(grad, b, delta * coeff)
+    n = positions.shape[0]
+    force = delta * (inv / dist2)[:, None]
+    # One bincount over the concatenated (a, b) index stream scatter-adds
+    # in the same sequential order as the former np.add.at pair, bit for
+    # bit, while running an order of magnitude faster.
+    idx = pair_index if pair_index is not None else np.concatenate([a, b])
+    m = a.shape[0]
+    w = np.empty(2 * m)
+    for axis in (0, 1):
+        np.negative(force[:, axis], out=w[:m])
+        w[m:] = force[:, axis]
+        grad[:, axis] = np.bincount(idx, weights=w, minlength=n)
     return energy, grad
 
 

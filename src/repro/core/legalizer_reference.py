@@ -1,4 +1,18 @@
-"""Integration-aware legalization (Sec. IV-C2, Algorithm 1), vectorized.
+"""Reference (pure-Python) legalizer, kept verbatim from the seed.
+
+This module preserves the original scalar implementation of Algorithm 1
+for two purposes:
+
+* **golden equivalence tests** — the vectorized legalizer in
+  :mod:`repro.core.legalizer` must produce overlap-free, frequency-legal
+  layouts whose metrics match this implementation within tolerance;
+* **performance baselines** — ``benchmarks/bench_perf_placement.py``
+  times this implementation against the vectorized one to record the
+  speedup of every PR.
+
+Do not optimise this file; it is the fixed point the fast path is
+measured against.  See :mod:`repro.core.legalizer` for the maintained
+documentation of the algorithm itself.
 
 The legalizer turns the global-placement result into a legal layout in
 three phases, exactly following Alg. 1:
@@ -23,31 +37,19 @@ non-intended pairs need the full padding sum (only when the config is
 frequency-aware — the Classic baseline skips this check, which is where
 its frequency hotspots come from); all other pairs need the mean routing
 clearance.
-
-This module is the *fast path*: pairwise required gaps are precomputed
-as dense matrices, spiral offsets are generated once per radius with
-numpy, and candidate sites are screened ring-by-ring against all placed
-instances with array arithmetic instead of per-pair Python calls.  The
-seed's scalar implementation is preserved verbatim in
-:mod:`repro.core.legalizer_reference` and the equivalence tests pin this
-implementation to it.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from .config import PlacerConfig
 from .preprocess import PlacementProblem
-
-#: Comparison slack absorbing float rounding in gap/required comparisons.
-_TOL = 1e-9
 
 
 @dataclass
@@ -103,36 +105,18 @@ class _SpatialHash:
                 yield from self._buckets.get((kx + dx, ky + dy), ())
 
 
-@lru_cache(maxsize=16)
-def _spiral_offsets_array(max_radius: int) -> np.ndarray:
-    """``(N, 2)`` lattice offsets ordered by ring, then Euclidean distance.
-
-    The ordering matches the seed's :func:`_spiral_offsets` exactly:
-    ring (Chebyshev radius) ascending, then squared Euclidean distance,
-    then ``(dx, dy)`` lexicographically.  Cached per radius — generating
-    the ~16k offsets of the default radius dominated the seed legalizer's
-    construction time.
-    """
-    span = np.arange(-max_radius, max_radius + 1, dtype=np.int64)
-    dx, dy = np.meshgrid(span, span, indexing="ij")
-    dx, dy = dx.ravel(), dy.ravel()
-    ring = np.maximum(np.abs(dx), np.abs(dy))
-    d2 = dx * dx + dy * dy
-    order = np.lexsort((dy, dx, d2, ring))
-    out = np.stack([dx[order], dy[order]], axis=1)
-    out.setflags(write=False)
-    return out
-
-
-def _ring_bounds(ring: int) -> Tuple[int, int]:
-    """Slice of :func:`_spiral_offsets_array` holding one Chebyshev ring."""
-    lo = (2 * ring - 1) ** 2 if ring > 0 else 0
-    return lo, (2 * ring + 1) ** 2
-
-
 def _spiral_offsets(max_radius: int) -> List[Tuple[int, int]]:
     """Lattice offsets ordered by ring, then by Euclidean distance."""
-    return [(int(dx), int(dy)) for dx, dy in _spiral_offsets_array(max_radius)]
+    offsets: List[Tuple[int, int]] = [(0, 0)]
+    for r in range(1, max_radius + 1):
+        ring = []
+        for dx in range(-r, r + 1):
+            for dy in range(-r, r + 1):
+                if max(abs(dx), abs(dy)) == r:
+                    ring.append((dx, dy))
+        ring.sort(key=lambda o: (o[0] * o[0] + o[1] * o[1], o))
+        offsets.extend(ring)
+    return offsets
 
 
 class Legalizer:
@@ -154,47 +138,8 @@ class Legalizer:
         self._qubit_pitch = self.config.qubit_site_pitch_mm(
             float(p.sizes[p.is_qubit][:, 0].max()) if p.is_qubit.any() else 0.4)
         self._segment_pitch = self.config.segment_site_pitch_mm()
-        self._offsets_arr = _spiral_offsets_array(
-            self.config.spiral_max_radius_sites)
+        self._offsets = _spiral_offsets(self.config.spiral_max_radius_sites)
         self.stats = LegalizeStats()
-
-        n = p.num_instances
-        self._placed_mask = np.zeros(n, dtype=bool)
-        self._half = 0.5 * np.asarray(p.sizes, dtype=float)
-        self._req_strict, self._req_relaxed = self._required_gap_matrices()
-
-    @property
-    def _offsets(self) -> List[Tuple[int, int]]:
-        """Seed-compatible spiral offsets as a list of tuples."""
-        return [(int(dx), int(dy)) for dx, dy in self._offsets_arr]
-
-    def _required_gap_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Dense ``(n, n)`` required edge-to-edge gaps.
-
-        ``strict`` applies the resonant checker tau (padding sum for
-        resonant non-intended pairs); ``relaxed`` is the plain clearance
-        rule.  Intended pairs require no gap in either.
-        """
-        p = self.problem
-        n = p.num_instances
-        res = np.asarray(p.resonator_index, dtype=np.int64)
-        same_res = (res[:, None] == res[None, :]) & (res[:, None] >= 0)
-        attach = np.zeros((n, n), dtype=bool)
-        for qi, rset in p.attached_resonators.items():
-            if rset:
-                attach[qi] = np.isin(res, np.fromiter(rset, dtype=np.int64))
-        intended = same_res | attach | attach.T
-        freqs = np.asarray(p.frequencies, dtype=float)
-        resonant = (np.abs(freqs[:, None] - freqs[None, :])
-                    <= self.config.detuning_threshold_ghz)
-        clear = np.asarray(p.clearances, dtype=float)
-        pads = np.asarray(p.paddings, dtype=float)
-        clear_req = 0.5 * (clear[:, None] + clear[None, :])
-        pad_req = pads[:, None] + pads[None, :]
-        strict = np.where(intended, 0.0,
-                          np.where(resonant, pad_req, clear_req))
-        relaxed = np.where(intended, 0.0, clear_req)
-        return strict, relaxed
 
     # -- geometric feasibility ---------------------------------------------------
 
@@ -207,97 +152,36 @@ class Legalizer:
         return math.hypot(max(gx, 0.0), max(gy, 0.0)) if (gx > 0 or gy > 0) \
             else max(gx, gy)
 
-    def _gaps_to(self, js: np.ndarray, i: int, x: float, y: float) -> np.ndarray:
-        """Edge-to-edge gaps from instance ``i`` at ``(x, y)`` to ``js``."""
-        pos = self.positions[js]
-        gx = np.abs(x - pos[:, 0]) - (self._half[i, 0] + self._half[js, 0])
-        gy = np.abs(y - pos[:, 1]) - (self._half[i, 1] + self._half[js, 1])
-        gxc = np.maximum(gx, 0.0)
-        gyc = np.maximum(gy, 0.0)
-        return np.where((gx > 0.0) | (gy > 0.0),
-                        np.sqrt(gxc * gxc + gyc * gyc),
-                        np.maximum(gx, gy))
-
-    def _neighbor_mask(self, x: float, y: float, reach: float) -> np.ndarray:
-        """Placed instances whose centre lies within ``reach`` per axis."""
-        pos = self.positions
-        return (self._placed_mask
-                & (np.abs(pos[:, 0] - x) <= reach)
-                & (np.abs(pos[:, 1] - y) <= reach))
-
     def _can_place(self, i: int, x: float, y: float,
                    ignore: Tuple[int, ...] = (),
                    enforce_resonant: Optional[bool] = None) -> bool:
         """Check all spacing rules for instance ``i`` at ``(x, y)``."""
+        p = self.problem
         if enforce_resonant is None:
             enforce_resonant = self.config.frequency_aware
-        mask = self._neighbor_mask(x, y, self._interact_radius)
-        mask[i] = False
-        for j in ignore:
-            mask[j] = False
-        js = np.flatnonzero(mask)
-        if js.size == 0:
-            return True
-        gaps = self._gaps_to(js, i, x, y)
-        req = (self._req_strict if enforce_resonant
-               else self._req_relaxed)[i, js]
-        return bool(np.all(gaps >= req - _TOL))
-
-    def _first_feasible_site(self, i: int, sites: Sequence[Tuple[float, float]],
-                             ignore: Tuple[int, ...] = (),
-                             enforce_resonant: Optional[bool] = None
-                             ) -> Optional[Tuple[float, float]]:
-        """First site of ``sites`` where ``i`` can be placed, else None.
-
-        Equivalent to scanning the list with :meth:`_can_place`, but the
-        whole candidate batch is screened against the neighbourhood with
-        one (sites x neighbours) gap matrix.
-        """
-        if not sites:
-            return None
-        if enforce_resonant is None:
-            enforce_resonant = self.config.frequency_aware
-        arr = np.asarray(sites, dtype=float)
-        cx = 0.5 * (arr[:, 0].min() + arr[:, 0].max())
-        cy = 0.5 * (arr[:, 1].min() + arr[:, 1].max())
-        reach = (max(arr[:, 0].max() - cx, arr[:, 1].max() - cy)
-                 + self._interact_radius)
-        mask = self._neighbor_mask(cx, cy, reach)
-        mask[i] = False
-        for j in ignore:
-            mask[j] = False
-        js = np.flatnonzero(mask)
-        if js.size == 0:
-            return (float(arr[0, 0]), float(arr[0, 1]))
-        pos = self.positions[js]
-        gx = (np.abs(arr[:, 0][:, None] - pos[None, :, 0])
-              - (self._half[i, 0] + self._half[js, 0])[None, :])
-        gy = (np.abs(arr[:, 1][:, None] - pos[None, :, 1])
-              - (self._half[i, 1] + self._half[js, 1])[None, :])
-        gxc = np.maximum(gx, 0.0)
-        gyc = np.maximum(gy, 0.0)
-        gaps = np.where((gx > 0.0) | (gy > 0.0),
-                        np.sqrt(gxc * gxc + gyc * gyc),
-                        np.maximum(gx, gy))
-        req = (self._req_strict if enforce_resonant
-               else self._req_relaxed)[i, js]
-        ok = np.all(gaps >= req[None, :] - _TOL, axis=1)
-        hits = np.flatnonzero(ok)
-        if hits.size == 0:
-            return None
-        k = int(hits[0])
-        return (float(arr[k, 0]), float(arr[k, 1]))
+        tol = 1e-9
+        for j in self._hash.near(x, y, self._interact_radius):
+            if j == i or j in ignore or j not in self._placed:
+                continue
+            gap = self._gap(i, x, y, j)
+            if p.is_intended_pair(i, j):
+                required = 0.0
+            elif enforce_resonant and p.is_resonant_pair(i, j):
+                required = p.paddings[i] + p.paddings[j]
+            else:
+                required = 0.5 * (p.clearances[i] + p.clearances[j])
+            if gap < required - tol:
+                return False
+        return True
 
     def _place(self, i: int, x: float, y: float) -> None:
         self.positions[i] = (x, y)
         self._hash.add(i, x, y)
         self._placed.add(i)
-        self._placed_mask[i] = True
 
     def _unplace(self, i: int) -> None:
         self._hash.remove(i)
         self._placed.discard(i)
-        self._placed_mask[i] = False
 
     def _site(self, target: np.ndarray, pitch: float,
               offset: Tuple[int, int]) -> Tuple[float, float]:
@@ -305,50 +189,6 @@ class Legalizer:
         base_x = round(target[0] / pitch) * pitch
         base_y = round(target[1] / pitch) * pitch
         return (base_x + offset[0] * pitch, base_y + offset[1] * pitch)
-
-    def _feasible_sites(self, i: int, target: np.ndarray, pitch: float,
-                        enforce_resonant: Optional[bool] = None
-                        ) -> Iterator[Tuple[float, float]]:
-        """Feasible lattice sites around ``target`` in spiral order.
-
-        Each Chebyshev ring is screened as one batch: a (sites x
-        neighbours) gap matrix replaces per-site `_can_place` calls.  The
-        generator re-screens nothing after a yield, so callers that
-        mutate placement state between yields must restore it before
-        pulling the next site (as `_rebuild_resonator` does).
-        """
-        if enforce_resonant is None:
-            enforce_resonant = self.config.frequency_aware
-        base_x = round(target[0] / pitch) * pitch
-        base_y = round(target[1] / pitch) * pitch
-        req_row = (self._req_strict if enforce_resonant
-                   else self._req_relaxed)[i]
-        offs = self._offsets_arr
-        max_ring = self.config.spiral_max_radius_sites
-        for ring in range(max_ring + 1):
-            lo, hi = _ring_bounds(ring)
-            sx = base_x + offs[lo:hi, 0] * pitch
-            sy = base_y + offs[lo:hi, 1] * pitch
-            mask = self._neighbor_mask(
-                base_x, base_y, ring * pitch + self._interact_radius)
-            mask[i] = False
-            js = np.flatnonzero(mask)
-            if js.size == 0:
-                ok = np.ones(hi - lo, dtype=bool)
-            else:
-                pos = self.positions[js]
-                gx = (np.abs(sx[:, None] - pos[None, :, 0])
-                      - (self._half[i, 0] + self._half[js, 0])[None, :])
-                gy = (np.abs(sy[:, None] - pos[None, :, 1])
-                      - (self._half[i, 1] + self._half[js, 1])[None, :])
-                gxc = np.maximum(gx, 0.0)
-                gyc = np.maximum(gy, 0.0)
-                gaps = np.where((gx > 0.0) | (gy > 0.0),
-                                np.sqrt(gxc * gxc + gyc * gyc),
-                                np.maximum(gx, gy))
-                ok = np.all(gaps >= req_row[js][None, :] - _TOL, axis=1)
-            for k in np.flatnonzero(ok):
-                yield (float(sx[k]), float(sy[k]))
 
     def _spiral_place(self, i: int, target: np.ndarray, pitch: float) -> bool:
         """Greedy spiral: nearest feasible lattice site around ``target``.
@@ -358,15 +198,18 @@ class Legalizer:
         plain clearance rule and the relaxation is counted (residual
         hotspot).
         """
-        for (x, y) in self._feasible_sites(i, target, pitch):
-            self._place(i, x, y)
-            return True
-        if self.config.frequency_aware:
-            for (x, y) in self._feasible_sites(i, target, pitch,
-                                               enforce_resonant=False):
-                self.stats.resonant_relaxations += 1
+        for offset in self._offsets:
+            x, y = self._site(target, pitch, offset)
+            if self._can_place(i, x, y):
                 self._place(i, x, y)
                 return True
+        if self.config.frequency_aware:
+            for offset in self._offsets:
+                x, y = self._site(target, pitch, offset)
+                if self._can_place(i, x, y, enforce_resonant=False):
+                    self.stats.resonant_relaxations += 1
+                    self._place(i, x, y)
+                    return True
         raise RuntimeError(
             f"legalizer spiral exhausted for instance {i}; "
             f"increase spiral_max_radius_sites")
@@ -460,12 +303,12 @@ class Legalizer:
                 # sibling, then to any placed sibling.
                 anchors = list(reversed(placed_chain))
                 for anchor in anchors:
-                    site = self._first_feasible_site(
-                        seg, self._adjacent_sites(tuple(self.positions[anchor]),
-                                                  target))
-                    if site is not None:
-                        self._place(seg, site[0], site[1])
-                        placed = True
+                    for (x, y) in self._adjacent_sites(tuple(self.positions[anchor]), target):
+                        if self._can_place(seg, x, y):
+                            self._place(seg, x, y)
+                            placed = True
+                            break
+                    if placed:
                         break
                 if not placed:
                     self._spiral_place(seg, target, self._segment_pitch)
@@ -488,31 +331,29 @@ class Legalizer:
 
     def _clusters(self, seg_ids: Sequence[int]) -> List[List[int]]:
         """Connected components of a resonator's segments by proximity."""
-        ids = list(seg_ids)
-        k = len(ids)
-        if k <= 1:
-            return [ids] if ids else []
         prox = self._proximity_mm()
-        pts = self.positions[ids]
-        diff = pts[:, None, :] - pts[None, :, :]
-        adj = (diff[..., 0] ** 2 + diff[..., 1] ** 2) <= prox * prox
-        seen = np.zeros(k, dtype=bool)
-        groups: List[List[int]] = []
-        for s in range(k):
-            if seen[s]:
-                continue
-            comp = np.zeros(k, dtype=bool)
-            comp[s] = True
-            frontier = comp.copy()
-            while True:
-                grown = adj[frontier].any(axis=0) & ~comp
-                if not grown.any():
-                    break
-                comp |= grown
-                frontier = grown
-            seen |= comp
-            groups.append([ids[t] for t in np.flatnonzero(comp)])
-        return sorted(groups, key=len, reverse=True)
+        parent = {i: i for i in seg_ids}
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        ids = list(seg_ids)
+        for ai in range(len(ids)):
+            for bi in range(ai + 1, len(ids)):
+                a, b = ids[ai], ids[bi]
+                dx = self.positions[a, 0] - self.positions[b, 0]
+                dy = self.positions[a, 1] - self.positions[b, 1]
+                if math.hypot(dx, dy) <= prox:
+                    ra, rb = find(a), find(b)
+                    if ra != rb:
+                        parent[ra] = rb
+        groups: Dict[int, List[int]] = {}
+        for i in ids:
+            groups.setdefault(find(i), []).append(i)
+        return sorted(groups.values(), key=len, reverse=True)
 
     def _sites_adjacent_to_cluster(self, cluster: Sequence[int],
                                    ring: int = 1) -> List[Tuple[float, float]]:
@@ -524,49 +365,53 @@ class Legalizer:
         frontier for the next pass).
         """
         pitch = self._segment_pitch
-        members = np.asarray(list(cluster), dtype=np.int64)
-        span = np.arange(-ring, ring + 1)
-        offs = np.array([(dx, dy) for dx in span for dy in span
-                         if not (dx == 0 and dy == 0)], dtype=float)
-        base = self.positions[members] / pitch
-        xs = np.round(base[:, None, 0] + offs[None, :, 0]) * pitch
-        ys = np.round(base[:, None, 1] + offs[None, :, 1]) * pitch
-        sites = np.unique(
-            np.stack([xs.ravel(), ys.ravel()], axis=1), axis=0)
-        centre = self.positions[members].mean(axis=0)
-        d2 = (sites[:, 0] - centre[0]) ** 2 + (sites[:, 1] - centre[1]) ** 2
-        # Explicit (d2, x, y) tie-break: lattice symmetry produces many
-        # equidistant sites, and the repair outcome must not depend on
-        # set/sort incidentals (the reference applies the same rule).
-        order = np.lexsort((sites[:, 1], sites[:, 0], d2))
-        return [(float(x), float(y)) for x, y in sites[order]]
+        span = range(-ring, ring + 1)
+        sites: Set[Tuple[float, float]] = set()
+        for member in cluster:
+            mx, my = self.positions[member]
+            for dx in span:
+                for dy in span:
+                    if dx == 0 and dy == 0:
+                        continue
+                    x = round(mx / pitch + dx) * pitch
+                    y = round(my / pitch + dy) * pitch
+                    sites.add((x, y))
+        centre = self.positions[list(cluster)].mean(axis=0)
+        # Sole deviation from the seed: an explicit (d2, x, y) tie-break
+        # instead of set-iteration order for equidistant sites, so the
+        # reference and the vectorized legalizer are comparable site by
+        # site (the seed's tie order was an accident of hashing).
+        return sorted(sites, key=lambda s: ((s[0] - centre[0]) ** 2
+                                            + (s[1] - centre[1]) ** 2,
+                                            s[0], s[1]))
 
     def _neighbors_of_cluster(self, cluster: Sequence[int]) -> List[int]:
         """Placed non-qubit instances adjacent to the cluster."""
         prox = self._proximity_mm()
-        members = np.asarray(list(cluster), dtype=np.int64)
-        cand = self._placed_mask & ~np.asarray(self.problem.is_qubit, bool)
-        cand[members] = False
-        js = np.flatnonzero(cand)
-        if js.size == 0:
-            return []
-        diff = self.positions[js][:, None, :] - self.positions[members][None, :, :]
-        d2 = (diff[..., 0] ** 2 + diff[..., 1] ** 2).min(axis=1)
-        return [int(j) for j in js[d2 <= prox * prox]]
+        cluster_set = set(cluster)
+        found: Set[int] = set()
+        for member in cluster:
+            mx, my = self.positions[member]
+            for j in self._hash.near(mx, my, prox):
+                if j in cluster_set or j in found or self.problem.is_qubit[j]:
+                    continue
+                dx = self.positions[j, 0] - mx
+                dy = self.positions[j, 1] - my
+                if math.hypot(dx, dy) <= prox:
+                    found.add(j)
+        return sorted(found)
 
     def _try_move(self, seg: int, cluster: Sequence[int],
                   enforce_resonant: Optional[bool] = None) -> bool:
         """Move a scattered segment onto a free site beside the cluster."""
         self._unplace(seg)
-        site = self._first_feasible_site(
-            seg, self._sites_adjacent_to_cluster(cluster),
-            enforce_resonant=enforce_resonant)
-        if site is not None:
-            self._place(seg, site[0], site[1])
-            self.stats.integration_moves += 1
-            if enforce_resonant is False and self.config.frequency_aware:
-                self.stats.resonant_relaxations += 1
-            return True
+        for (x, y) in self._sites_adjacent_to_cluster(cluster):
+            if self._can_place(seg, x, y, enforce_resonant=enforce_resonant):
+                self._place(seg, x, y)
+                self.stats.integration_moves += 1
+                if enforce_resonant is False and self.config.frequency_aware:
+                    self.stats.resonant_relaxations += 1
+                return True
         self._place(seg, self.positions[seg, 0], self.positions[seg, 1])
         return False
 
@@ -669,13 +514,14 @@ class Legalizer:
                         placed = True
                 else:
                     for anchor in reversed(placed_chain):
-                        site = self._first_feasible_site(
-                            seg, self._adjacent_sites(
-                                tuple(self.positions[anchor]), coil_centre),
-                            enforce_resonant=enforce_resonant)
-                        if site is not None:
-                            self._place(seg, site[0], site[1])
-                            placed = True
+                        for (x, y) in self._adjacent_sites(
+                                tuple(self.positions[anchor]), coil_centre):
+                            if self._can_place(seg, x, y,
+                                               enforce_resonant=enforce_resonant):
+                                self._place(seg, x, y)
+                                placed = True
+                                break
+                        if placed:
                             break
                 if not placed:
                     for s in placed_chain:
@@ -686,13 +532,13 @@ class Legalizer:
 
         # Multi-start: a free pocket may be too small for the whole
         # chain, so try successive feasible start sites spiralling out.
-        # The generator screens whole rings at once; a failed build fully
-        # restores the placement state before the next site is pulled.
         attempts = 0
         success = False
-        for start in self._feasible_sites(seg_ids[0], centroid,
-                                          self._segment_pitch,
-                                          enforce_resonant=enforce_resonant):
+        for offset in self._offsets:
+            start = self._site(centroid, self._segment_pitch, offset)
+            if not self._can_place(seg_ids[0], start[0], start[1],
+                                   enforce_resonant=enforce_resonant):
+                continue
             attempts += 1
             if build_chain(start):
                 success = True

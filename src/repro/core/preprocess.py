@@ -118,19 +118,27 @@ def _collision_pairs(frequencies: np.ndarray, resonator_index: np.ndarray,
     n = len(frequencies)
     order = np.argsort(frequencies, kind="stable")
     sorted_freqs = frequencies[order]
-    pairs: List[Tuple[int, int]] = []
-    for a in range(n):
-        fa = sorted_freqs[a]
-        b = a + 1
-        while b < n and sorted_freqs[b] - fa <= threshold:
-            i, j = int(order[a]), int(order[b])
-            ri, rj = int(resonator_index[i]), int(resonator_index[j])
-            if not (ri >= 0 and ri == rj):
-                pairs.append((min(i, j), max(i, j)))
-            b += 1
-    if not pairs:
+    # For each sorted position a, candidates extend to hi[a]-1.  The
+    # searchsorted bound is slightly widened so the exact run condition
+    # ``sorted_freqs[b] - fa <= threshold`` (applied below, matching the
+    # scalar implementation bit for bit) is always a subset of it.
+    hi = np.searchsorted(sorted_freqs, sorted_freqs + (threshold + 1e-9),
+                         side="right")
+    counts = np.maximum(hi - np.arange(n) - 1, 0)
+    if counts.max(initial=0) <= 0:
         return np.zeros((0, 2), dtype=np.int64)
-    return np.array(sorted(pairs), dtype=np.int64)
+    a_idx = np.repeat(np.arange(n), counts)
+    # Offsets 1..count within each run, built from one global arange.
+    ends = np.cumsum(counts)
+    b_idx = a_idx + (np.arange(ends[-1]) - (ends - counts)[a_idx]) + 1
+    keep = sorted_freqs[b_idx] - sorted_freqs[a_idx] <= threshold
+    i = order[a_idx[keep]]
+    j = order[b_idx[keep]]
+    ri, rj = resonator_index[i], resonator_index[j]
+    keep = ~((ri >= 0) & (ri == rj))
+    i, j = i[keep], j[keep]
+    pairs = np.stack([np.minimum(i, j), np.maximum(i, j)], axis=1)
+    return np.unique(pairs, axis=0).astype(np.int64)
 
 
 def build_problem(netlist: QuantumNetlist,

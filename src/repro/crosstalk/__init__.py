@@ -2,6 +2,7 @@
 
 from .fidelity import (
     FidelityBreakdown,
+    ViolationTable,
     average_program_fidelity,
     estimate_program_fidelity,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "KIND_RR",
     "NoiseParams",
     "SpatialViolation",
+    "ViolationTable",
     "average_program_fidelity",
     "count_by_kind",
     "crosstalk_error",

@@ -13,13 +13,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from ..circuits.mapping import MappedCircuit
 from ..devices.components import Qubit, ResonatorSegment
 from ..devices.layout import Layout
 from .noise_model import NoiseParams, crosstalk_error, decoherence_error
-from .violations import SpatialViolation, find_spatial_violations
+from .violations import KIND_QQ, SpatialViolation, find_spatial_violations
 
 Edge = Tuple[int, int]
 
@@ -60,6 +62,99 @@ def _active_resonator_indices(layout: Layout,
     }
 
 
+@dataclass(frozen=True)
+class ViolationTable:
+    """Columnar view of a layout's spatial violations.
+
+    Scoring many mappings against one layout evaluates the same
+    violation list over and over; this table extracts the per-violation
+    quantities once so each evaluation reduces to a handful of numpy
+    operations instead of a Python loop over (violation, member) pairs.
+
+    Attributes:
+        violations: The source violation list (kept for reporting).
+        qubit_i, qubit_j: Topology qubit index of each member when it is
+            a qubit, else -1.
+        res_i, res_j: Resonator index of each member when it is a
+            segment, else -1.
+        g_ghz: Parasitic coupling strength per violation.
+        detuning_ghz: Frequency detuning per violation.
+        is_qq: True for qubit-qubit violations.
+    """
+
+    violations: List[SpatialViolation]
+    qubit_i: np.ndarray
+    qubit_j: np.ndarray
+    res_i: np.ndarray
+    res_j: np.ndarray
+    g_ghz: np.ndarray
+    detuning_ghz: np.ndarray
+    is_qq: np.ndarray
+
+    @classmethod
+    def build(cls, layout: Layout,
+              violations: Optional[List[SpatialViolation]] = None,
+              detuning_threshold_ghz: Optional[float] = None
+              ) -> "ViolationTable":
+        """Extract the columnar arrays from a violation list."""
+        if violations is None:
+            kwargs = {}
+            if detuning_threshold_ghz is not None:
+                kwargs["detuning_threshold_ghz"] = detuning_threshold_ghz
+            violations = find_spatial_violations(layout, **kwargs)
+        n = len(violations)
+        qubit_idx = np.full((n, 2), -1, dtype=np.int64)
+        res_idx = np.full((n, 2), -1, dtype=np.int64)
+        for row, v in enumerate(violations):
+            for col, idx in enumerate((v.i, v.j)):
+                inst = layout.instances[idx]
+                if isinstance(inst, Qubit):
+                    qubit_idx[row, col] = inst.index
+                elif isinstance(inst, ResonatorSegment):
+                    res_idx[row, col] = inst.resonator_index
+        return cls(
+            violations=violations,
+            qubit_i=qubit_idx[:, 0], qubit_j=qubit_idx[:, 1],
+            res_i=res_idx[:, 0], res_j=res_idx[:, 1],
+            g_ghz=np.array([v.g_ghz for v in violations], dtype=float),
+            detuning_ghz=np.array([v.detuning_ghz for v in violations],
+                                  dtype=float),
+            is_qq=np.array([v.kind == KIND_QQ for v in violations],
+                           dtype=bool),
+        )
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def active_mask(self, active_qubits: Set[int],
+                    active_resonators: Set[int]) -> np.ndarray:
+        """Violations with at least one actively engaged member.
+
+        Mirrors :func:`_violation_is_active`: errors in inactive elements
+        do not compromise the program, but one active member suffices.
+        """
+        aq = np.fromiter(active_qubits, dtype=np.int64, count=len(active_qubits))
+        ar = np.fromiter(active_resonators, dtype=np.int64,
+                         count=len(active_resonators))
+        return (np.isin(self.qubit_i, aq) | np.isin(self.qubit_j, aq)
+                | np.isin(self.res_i, ar) | np.isin(self.res_j, ar))
+
+    def crosstalk_errors(self, duration_ns: float) -> np.ndarray:
+        """Worst-case swap probability per violation (Eq. 16), vectorized.
+
+        Identical to calling :func:`~repro.crosstalk.noise_model.
+        crosstalk_error` per violation with the bare ``g`` and the pair
+        detuning.
+        """
+        g = self.g_ghz
+        delta = self.detuning_ghz
+        rabi2 = delta * delta + 4.0 * g * g
+        amplitude = np.divide(4.0 * g * g, rabi2,
+                              out=np.zeros_like(g), where=rabi2 > 0)
+        phase = np.pi * np.sqrt(rabi2) * duration_ns
+        return amplitude * np.sin(np.minimum(phase, np.pi / 2.0)) ** 2
+
+
 def _violation_is_active(layout: Layout, violation: SpatialViolation,
                          active_qubits: Set[int],
                          active_resonators: Set[int]) -> bool:
@@ -82,7 +177,9 @@ def _violation_is_active(layout: Layout, violation: SpatialViolation,
 
 def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
                               params: NoiseParams = NoiseParams(),
-                              violations: Optional[List[SpatialViolation]] = None
+                              violations: Optional[Union[
+                                  List[SpatialViolation],
+                                  ViolationTable]] = None
                               ) -> FidelityBreakdown:
     """Evaluate Eq. (15) for one mapped benchmark on one layout.
 
@@ -90,12 +187,17 @@ def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
         layout: The physical layout being scored.
         mapped: A benchmark compiled onto the layout's topology.
         params: Noise-model parameters.
-        violations: Precomputed spatial violations of ``layout``; pass
-            these when scoring many mappings against one layout.
+        violations: Precomputed spatial violations of ``layout`` — a
+            plain list or, when scoring many mappings against one
+            layout, a prebuilt :class:`ViolationTable` (avoids
+            re-extracting the per-violation columns every call).
     """
-    if violations is None:
-        violations = find_spatial_violations(
-            layout, detuning_threshold_ghz=params.detuning_threshold_ghz)
+    if isinstance(violations, ViolationTable):
+        table = violations
+    else:
+        table = ViolationTable.build(
+            layout, violations,
+            detuning_threshold_ghz=params.detuning_threshold_ghz)
 
     duration = mapped.duration_ns
     active_qubits = mapped.active_qubits
@@ -116,15 +218,13 @@ def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
     qq_factor = 1.0
     rr_factor = 1.0
     pair_count = 0
-    for v in violations:
-        if not _violation_is_active(layout, v, active_qubits, active_resonators):
-            continue
-        eps = crosstalk_error(v.g_ghz, duration, detuning_ghz=v.detuning_ghz)
-        pair_count += 1
-        if v.kind == "qq":
-            qq_factor *= (1.0 - eps)
-        else:
-            rr_factor *= (1.0 - eps)
+    if len(table):
+        active = table.active_mask(active_qubits, active_resonators)
+        pair_count = int(active.sum())
+        if pair_count:
+            eps = table.crosstalk_errors(duration)
+            qq_factor = float(np.prod(1.0 - eps[active & table.is_qq]))
+            rr_factor = float(np.prod(1.0 - eps[active & ~table.is_qq]))
 
     total = gate_factor * decoherence_factor * qq_factor * rr_factor
     return FidelityBreakdown(
@@ -145,10 +245,10 @@ def average_program_fidelity(layout: Layout,
     """Mean fidelity across an evaluation-mapping set (Fig. 11 bars)."""
     if not mappings:
         raise ValueError("need at least one mapping")
-    violations = find_spatial_violations(
+    table = ViolationTable.build(
         layout, detuning_threshold_ghz=params.detuning_threshold_ghz)
     total = 0.0
     for mapped in mappings:
         total += estimate_program_fidelity(
-            layout, mapped, params, violations=violations).total
+            layout, mapped, params, violations=table).total
     return total / len(mappings)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from .. import constants
 from ..devices.components import Instance, Qubit, ResonatorSegment, same_resonator
 from ..devices.geometry import Rect
@@ -145,29 +147,110 @@ def find_spatial_violations(layout: Layout,
         include_qr: Also report qubit-resonator violations (these are
             deeply detuned and mostly informational).
     """
+    n = layout.num_instances
+    if n < 2:
+        return []
     attached = attached_resonators_by_qubit(layout)
-    violations: List[SpatialViolation] = []
-    bare = layout.rects()
+    insts = layout.instances
+    pos = np.asarray(layout.positions, dtype=float)
+    half_w = np.array([0.5 * it.width for it in insts])
+    half_h = np.array([0.5 * it.height for it in insts])
+    pads = np.array([it.padding for it in insts])
+    freqs = np.array([it.frequency for it in insts])
+    is_q = np.array([isinstance(it, Qubit) for it in insts])
+    res_idx = np.array([
+        it.resonator_index if isinstance(it, ResonatorSegment) else -1
+        for it in insts], dtype=np.int64)
+
+    # Candidate pairs: padded footprints touching or overlapping — the
+    # same pair set the grid-hashed neighbour query used to yield.
+    iu, ju = np.triu_indices(n, 1)
+    dx = np.abs(pos[iu, 0] - pos[ju, 0])
+    dy = np.abs(pos[iu, 1] - pos[ju, 1])
+    pw = half_w[iu] + half_w[ju] + pads[iu] + pads[ju]
+    ph = half_h[iu] + half_h[ju] + pads[iu] + pads[ju]
+    cand = (dx <= pw) & (dy <= ph)
+    iu, ju, dx, dy = iu[cand], ju[cand], dx[cand], dy[cand]
+    if iu.size == 0:
+        return []
+
+    # Bare edge-to-edge gap versus the padding-sum requirement.
+    bgx = np.maximum(0.0, dx - (half_w[iu] + half_w[ju]))
+    bgy = np.maximum(0.0, dy - (half_h[iu] + half_h[ju]))
+    gaps = np.hypot(bgx, bgy)
     tol = 1e-6
-    for i, j, _gap in layout.neighbor_pairs(cutoff_mm=0.0, padded=True):
-        required = layout.instances[i].padding + layout.instances[j].padding
-        if bare[i].gap(bare[j]) >= required - tol:
-            continue  # Euclidean spacing satisfies the padding sum
-        a, b = layout.instances[i], layout.instances[j]
-        if _is_intended_pair(a, b, attached):
-            continue
-        kind = _classify(a, b)
-        if kind == KIND_QR and not include_qr:
-            continue
-        gap = bare[i].gap(bare[j])
-        facing = _facing_length(bare[i], bare[j])
-        detuning, g, g_eff, resonant = _pair_physics(
-            a, b, gap, facing, detuning_threshold_ghz)
-        violations.append(SpatialViolation(
-            i=i, j=j, kind=kind, gap_mm=gap, facing_mm=facing,
-            detuning_ghz=detuning, g_ghz=g, g_eff_ghz=g_eff,
-            resonant=resonant))
-    return violations
+    viol = gaps < (pads[iu] + pads[ju]) - tol
+    iu, ju, dx, dy, gaps = iu[viol], ju[viol], dx[viol], dy[viol], gaps[viol]
+    if iu.size == 0:
+        return []
+
+    # Intended-adjacency exclusion: sibling segments; qubit + segment of
+    # an attached resonator (checked per surviving pair — few remain).
+    same_res = (res_idx[iu] == res_idx[ju]) & (res_idx[iu] >= 0)
+    keep = ~same_res
+    if attached is not None:
+        qr_mix = (is_q[iu] ^ is_q[ju]) & keep
+        for k in np.flatnonzero(qr_mix):
+            a, b = int(iu[k]), int(ju[k])
+            q, s = (a, b) if is_q[a] else (b, a)
+            if int(res_idx[s]) in attached.get(insts[q].index, ()):
+                keep[k] = False
+    iu, ju, dx, dy, gaps = iu[keep], ju[keep], dx[keep], dy[keep], gaps[keep]
+    if iu.size == 0:
+        return []
+
+    both_q = is_q[iu] & is_q[ju]
+    neither_q = ~is_q[iu] & ~is_q[ju]
+    if not include_qr:
+        keep = both_q | neither_q
+        iu, ju, dx, dy, gaps = (iu[keep], ju[keep], dx[keep], dy[keep],
+                                gaps[keep])
+        both_q, neither_q = both_q[keep], neither_q[keep]
+        if iu.size == 0:
+            return []
+
+    ox = np.maximum(0.0,
+                    np.minimum(pos[iu, 0] + half_w[iu], pos[ju, 0] + half_w[ju])
+                    - np.maximum(pos[iu, 0] - half_w[iu], pos[ju, 0] - half_w[ju]))
+    oy = np.maximum(0.0,
+                    np.minimum(pos[iu, 1] + half_h[iu], pos[ju, 1] + half_h[ju])
+                    - np.maximum(pos[iu, 1] - half_h[iu], pos[ju, 1] - half_h[ju]))
+    facing = np.maximum(ox, oy)
+    detuning = np.abs(freqs[iu] - freqs[ju])
+    g = np.empty(iu.size)
+    if both_q.any():
+        cp = qubit_parasitic_capacitance_ff(gaps[both_q])
+        g[both_q] = qubit_qubit_coupling_ghz(
+            freqs[iu[both_q]], freqs[ju[both_q]], cp)
+    mixed = ~both_q
+    if mixed.any():
+        cp = resonator_parasitic_capacitance_ff(
+            gaps[mixed], np.maximum(facing[mixed], 1e-3))
+        qr = mixed & ~neither_q
+        rr = mixed & neither_q
+        sel_rr = neither_q[mixed]
+        g_mixed = np.empty(int(mixed.sum()))
+        if rr.any():
+            g_mixed[sel_rr] = resonator_resonator_coupling_ghz(
+                freqs[iu[rr]], freqs[ju[rr]], cp[sel_rr])
+        if qr.any():
+            g_mixed[~sel_rr] = qubit_qubit_coupling_ghz(
+                freqs[iu[qr]], freqs[ju[qr]], cp[~sel_rr],
+                constants.QUBIT_CAPACITANCE_FF,
+                constants.RESONATOR_CAPACITANCE_FF)
+        g[mixed] = g_mixed
+    g_eff = effective_coupling_ghz(g, detuning, detuning_threshold_ghz)
+    resonant = detuning <= detuning_threshold_ghz
+
+    kinds = np.where(both_q, KIND_QQ, np.where(neither_q, KIND_RR, KIND_QR))
+    return [
+        SpatialViolation(
+            i=int(iu[k]), j=int(ju[k]), kind=str(kinds[k]),
+            gap_mm=float(gaps[k]), facing_mm=float(facing[k]),
+            detuning_ghz=float(detuning[k]), g_ghz=float(g[k]),
+            g_eff_ghz=float(g_eff[k]), resonant=bool(resonant[k]))
+        for k in range(iu.size)
+    ]
 
 
 def count_by_kind(violations: List[SpatialViolation]) -> Dict[str, int]:

@@ -103,6 +103,19 @@ class Topology:
         """All-pairs shortest-path hop distances."""
         return {s: dict(lengths) for s, lengths in nx.all_pairs_shortest_path_length(self.graph)}
 
+    def hop_distances(self) -> Dict[int, Dict[int, int]]:
+        """Cached all-pairs hop distances.
+
+        The mapper and SABRE router consult the same distance table for
+        every mapping subset, so it is computed once per topology.  Do
+        not mutate the returned dicts.
+        """
+        cached = self.__dict__.get("_hop_distances")
+        if cached is None:
+            cached = self.distance_matrix()
+            self.__dict__["_hop_distances"] = cached
+        return cached
+
 
 def _build(name: str, description: str,
            edges: Iterable[Tuple[int, int]],

@@ -59,13 +59,15 @@ def resonator_parasitic_capacitance_ff(distance_mm,
         cp0_ff_per_mm: Per-length capacitance at contact (fF/mm).
         decay_mm: Exponential screening length (mm).
     """
-    if adjacent_length_mm < 0:
+    if np.any(np.asarray(adjacent_length_mm) < 0):
         raise ValueError("adjacent length must be non-negative")
     d = np.asarray(distance_mm, dtype=float)
     if np.any(d < 0):
         raise ValueError("distance must be non-negative")
-    result = cp0_ff_per_mm * adjacent_length_mm * np.exp(-d / decay_mm)
-    return float(result) if np.isscalar(distance_mm) else result
+    result = cp0_ff_per_mm * np.asarray(adjacent_length_mm) * np.exp(-d / decay_mm)
+    if np.isscalar(distance_mm) and np.isscalar(adjacent_length_mm):
+        return float(result)
+    return result
 
 
 def qubit_resonator_parasitic_capacitance_ff(distance_mm,

@@ -71,9 +71,14 @@ def effective_coupling_ghz(g_ghz, detuning_ghz,
     """
     g = np.asarray(g_ghz, dtype=float)
     delta = np.abs(np.asarray(detuning_ghz, dtype=float))
-    with np.errstate(divide="ignore", invalid="ignore"):
-        dispersive = np.where(delta > 0, g * g / np.where(delta > 0, delta, 1.0), g)
-    out = np.where(delta <= resonance_threshold_ghz, g, dispersive)
+    # The dispersive expression is only *used* where delta exceeds the
+    # threshold, so the divide is guarded with that same condition — a
+    # tiny-but-positive delta inside the resonant band must not overflow
+    # (it previously produced a RuntimeWarning before being discarded by
+    # the outer where).
+    dispersive_branch = delta > resonance_threshold_ghz
+    safe_delta = np.where(dispersive_branch, delta, 1.0)
+    out = np.where(dispersive_branch, g * g / safe_delta, g)
     if np.isscalar(g_ghz) and np.isscalar(detuning_ghz):
         return float(out)
     return out
