@@ -31,6 +31,7 @@ version whenever an algorithm change invalidates previous results.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -46,7 +47,8 @@ from ..core.config import PlacerConfig
 
 #: Bump when placement/evaluation semantics change so stale cached
 #: results are never returned.
-CACHE_SCHEMA_VERSION = 1
+#: 2: interaction-backend config fields; condor topologies; mapping jobs.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -186,6 +188,47 @@ def run_sweep_job(job: SweepJob):
 
 
 @dataclass(frozen=True)
+class MappingJob:
+    """One evaluation-mapping batch: circuit x topology x seed x router.
+
+    The mapping/transpile pipeline (subset sampling, SABRE or basic
+    routing, basis lowering, scheduling) is the dominant cost of
+    repeated fidelity studies, and its output depends only on these
+    fields — never on the layout being scored.  Routing it through the
+    runner's on-disk cache therefore lets every re-study of the same
+    (circuit, topology, seeds, transpiler config) skip routing entirely.
+
+    Attributes:
+        benchmark: Registered benchmark name, e.g. ``"bv-16"``.
+        topology: Registered topology name.
+        num_mappings: Mapping subsets in the batch (paper: 50).
+        base_seed: First subset seed; the batch covers
+            ``base_seed .. base_seed + num_mappings - 1``.
+        router: ``"basic"`` or ``"sabre"``.
+        optimization_level: Transpiler effort level.
+    """
+
+    benchmark: str
+    topology: str
+    num_mappings: int = constants.DEFAULT_NUM_MAPPINGS
+    base_seed: int = 0
+    router: str = "basic"
+    optimization_level: int = 3
+
+
+def run_mapping_job(job: MappingJob):
+    """Worker: compile one benchmark's evaluation-mapping batch."""
+    from ..circuits.library import get_benchmark
+    from ..circuits.mapping import evaluation_mappings
+    from ..devices.topology import get_topology
+
+    return evaluation_mappings(
+        get_benchmark(job.benchmark), get_topology(job.topology),
+        num_mappings=job.num_mappings, base_seed=job.base_seed,
+        router=job.router, optimization_level=job.optimization_level)
+
+
+@dataclass(frozen=True)
 class AblationJob:
     """One ablation variant on one topology."""
 
@@ -199,6 +242,11 @@ def run_ablation_job(job: AblationJob):
     from .ablation import evaluate_ablation_variant
 
     return evaluate_ablation_variant(job.topology, job.variant, job.config)
+
+
+def _worker_cache_init(cache_dir: str) -> None:
+    """Pool-worker initializer: inherit the parent runner's cache dir."""
+    os.environ[CACHE_ENV_VAR] = cache_dir
 
 
 class ParallelRunner:
@@ -242,6 +290,32 @@ class ParallelRunner:
         except Exception:
             # Torn/stale cache entries are recomputed, never fatal.
             return False, None
+
+    @contextlib.contextmanager
+    def _cache_env(self):
+        """Expose this runner's cache dir to nested default runners.
+
+        Workers (and in-process jobs) may themselves route sub-units of
+        work — e.g. :func:`run_topology_evaluation` caches its mapping
+        batches — through :func:`default_runner`, which discovers the
+        cache via ``$REPRO_CACHE_DIR``.  Publishing the directory for
+        the duration of a ``map`` call makes an explicit ``cache_dir``
+        (CLI ``--cache-dir``) transitive without threading it through
+        every job description (cache keys must not depend on cache
+        location).
+        """
+        if self.cache_dir is None:
+            yield
+            return
+        previous = os.environ.get(CACHE_ENV_VAR)
+        os.environ[CACHE_ENV_VAR] = str(self.cache_dir)
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(CACHE_ENV_VAR, None)
+            else:
+                os.environ[CACHE_ENV_VAR] = previous
 
     def _cache_store(self, path: Optional[Path], value: Any) -> None:
         if path is None:
@@ -289,10 +363,16 @@ class ParallelRunner:
         if pending:
             todo = [jobs[k] for k in pending]
             if self.max_workers <= 1 or len(pending) == 1:
-                computed = [fn(job) for job in todo]
+                with self._cache_env():
+                    computed = [fn(job) for job in todo]
             else:
                 workers = min(self.max_workers, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                init_args = ((_worker_cache_init, (str(self.cache_dir),))
+                             if self.cache_dir is not None else (None, ()))
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=init_args[0],
+                        initargs=init_args[1]) as pool:
                     computed = list(pool.map(fn, todo))
             for k, value in zip(pending, computed):
                 results[k] = value

@@ -254,9 +254,11 @@ def map_circuit(circuit: QuantumCircuit, topology: Topology,
 def evaluation_mappings(circuit: QuantumCircuit, topology: Topology,
                         num_mappings: int = 50,
                         base_seed: int = 0,
-                        router: str = "basic") -> List[MappedCircuit]:
+                        router: str = "basic",
+                        optimization_level: int = 3) -> List[MappedCircuit]:
     """The paper's 50-subset evaluation set (deterministic per base seed)."""
     return [
-        map_circuit(circuit, topology, seed=base_seed + k, router=router)
+        map_circuit(circuit, topology, seed=base_seed + k, router=router,
+                    optimization_level=optimization_level)
         for k in range(num_mappings)
     ]

@@ -40,7 +40,8 @@ from .core import PlacerConfig, QPlacer
 
 #: Default benchmark subset for the evaluate commands (5 of the 8).
 DEFAULT_CLI_BENCHMARKS = ("bv-4", "bv-16", "qaoa-9", "ising-4", "qgan-4")
-from .devices import PAPER_TOPOLOGY_ORDER, TOPOLOGY_FACTORIES, build_netlist, get_topology
+from .devices import (PAPER_TOPOLOGY_ORDER, SCALE_TOPOLOGY_ORDER,
+                      TOPOLOGY_FACTORIES, build_netlist, get_topology)
 from .io import save_gds, save_layout, save_svg
 
 
@@ -51,6 +52,15 @@ def _add_common_placer_args(parser: argparse.ArgumentParser) -> None:
                         help="resonator segment size lb in mm (default 0.3)")
     parser.add_argument("--seed", type=int, default=0,
                         help="placement seed (default 0)")
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--interaction-backend",
+                        choices=("auto", "dense", "sparse"), default="auto",
+                        help="spatial interaction strategy: dense pair "
+                             "matrices, sparse uniform-grid neighbor "
+                             "lists, or auto by problem size (default)")
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -66,7 +76,9 @@ def _runner_from(args: argparse.Namespace) -> ParallelRunner:
 
 
 def _config_from(args: argparse.Namespace) -> PlacerConfig:
-    return PlacerConfig(segment_size_mm=args.segment_size, seed=args.seed)
+    return PlacerConfig(segment_size_mm=args.segment_size, seed=args.seed,
+                        interaction_backend=getattr(
+                            args, "interaction_backend", "auto"))
 
 
 def cmd_topologies(_args: argparse.Namespace) -> int:
@@ -77,14 +89,23 @@ def cmd_topologies(_args: argparse.Namespace) -> int:
                      topo.description])
     print(format_table(["name", "qubits", "couplers", "description"], rows,
                        title="Registered topologies (Table I)"))
+    rows = []
+    for name in SCALE_TOPOLOGY_ORDER:
+        topo = get_topology(name)
+        rows.append([name, topo.num_qubits, topo.num_couplers,
+                     topo.description])
+    print()
+    print(format_table(["name", "qubits", "couplers", "description"], rows,
+                       title="Scale tiers (sparse interaction backend)"))
     return 0
 
 
 def cmd_place(args: argparse.Namespace) -> int:
     config = _config_from(args)
     if args.classic:
-        config = PlacerConfig.classic(segment_size_mm=args.segment_size,
-                                      seed=args.seed)
+        config = PlacerConfig.classic(
+            segment_size_mm=args.segment_size, seed=args.seed,
+            interaction_backend=args.interaction_backend)
     netlist = build_netlist(get_topology(args.topology))
     result = QPlacer(config).place(netlist)
     metrics = compute_layout_metrics(result.layout)
@@ -146,7 +167,8 @@ def cmd_evaluate_all(args: argparse.Namespace) -> int:
         num_mappings=args.mappings,
         segment_size_mm=args.segment_size,
         config=PlacerConfig(segment_size_mm=args.segment_size,
-                            seed=args.seed),
+                            seed=args.seed,
+                            interaction_backend=args.interaction_backend),
         runner=runner)
     for name, entry in results.items():
         print(fidelity_table(entry["fidelity"], name))
@@ -251,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mapping subsets per benchmark (paper: 50)")
     p.add_argument("--benchmarks",
                    help="comma-separated benchmark list (default: 5 of 8)")
+    _add_backend_arg(p)
     _add_runner_args(p)
     p.set_defaults(func=cmd_evaluate_all)
 

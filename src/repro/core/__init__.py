@@ -9,6 +9,13 @@ from .frequency_force import (
     repulsion_force_magnitude,
     resonant_pair_distances,
 )
+from .interactions import (
+    BACKENDS,
+    PrunedCollisionPairs,
+    RequiredGapTable,
+    grid_candidate_pairs,
+    resolve_backend,
+)
 from .legalizer import Legalizer, LegalizeStats, legalize
 from .optimizer import NesterovOptimizer, OptimizerState
 from .placer import PlacementResult, QPlacer, place_topology
@@ -16,6 +23,11 @@ from .preprocess import PlacementProblem, build_problem
 from .wirelength import hpwl, smooth_wirelength, wirelength_and_grad
 
 __all__ = [
+    "BACKENDS",
+    "PrunedCollisionPairs",
+    "RequiredGapTable",
+    "grid_candidate_pairs",
+    "resolve_backend",
     "DensityGrid",
     "DensityResult",
     "DetailedPlaceStats",

@@ -55,6 +55,17 @@ class PlacerConfig:
     Attributes:
         legalize_integration: Run the integration-aware repair (Alg. 1).
         spiral_max_radius_sites: Search bound of the greedy spiral.
+
+    Spatial interaction backend (:mod:`repro.core.interactions`):
+
+    Attributes:
+        interaction_backend: ``"auto"`` (sparse above
+            ``sparse_min_instances`` instances), ``"dense"``, or
+            ``"sparse"``.
+        sparse_min_instances: Problem-size threshold for ``auto``.
+        freq_pair_cutoff_mm: Sparse-only distance cutoff of the
+            frequency repulsive force.
+        freq_pair_skin_mm: Sparse-only Verlet skin of the neighbor list.
     """
 
     # geometry / preprocessing
@@ -87,6 +98,20 @@ class PlacerConfig:
     #: Detailed-placement refinement sweeps after legalization (0 = off).
     detailed_passes: int = 0
 
+    # spatial interaction backend (see repro.core.interactions)
+    #: ``"auto"`` (size-based), ``"dense"``, or ``"sparse"``.
+    interaction_backend: str = "auto"
+    #: ``auto`` resolves to sparse above this instance count.
+    sparse_min_instances: int = 2048
+    #: Sparse-only: frequency-force interaction cutoff (mm).  Resonant
+    #: pairs further apart contribute < 1/cutoff each and are dropped
+    #: from the repulsive sum; the dense backend always sums every pair.
+    freq_pair_cutoff_mm: float = 3.0
+    #: Sparse-only: Verlet skin added to the cutoff when building the
+    #: neighbor list; the list is rebuilt once any instance drifts more
+    #: than half the skin.
+    freq_pair_skin_mm: float = 1.5
+
     def __post_init__(self) -> None:
         if self.segment_size_mm <= 0:
             raise ValueError("segment size must be positive")
@@ -102,6 +127,14 @@ class PlacerConfig:
             raise ValueError("need at least 8 density bins per axis")
         if self.max_iterations < self.min_iterations:
             raise ValueError("max_iterations must be >= min_iterations")
+        if self.interaction_backend not in ("auto", "dense", "sparse"):
+            raise ValueError("interaction_backend must be auto, dense, "
+                             "or sparse")
+        if self.sparse_min_instances < 1:
+            raise ValueError("sparse_min_instances must be positive")
+        if self.freq_pair_cutoff_mm <= 0 or self.freq_pair_skin_mm <= 0:
+            raise ValueError("frequency pair cutoff and skin must be "
+                             "positive")
 
     @staticmethod
     def classic(**overrides) -> "PlacerConfig":
@@ -119,6 +152,12 @@ class PlacerConfig:
     def with_segment_size(self, lb_mm: float) -> "PlacerConfig":
         """Copy with a different resonator segment size (Fig. 15 sweep)."""
         return replace(self, segment_size_mm=lb_mm)
+
+    def resolved_interaction_backend(self, num_instances: int) -> str:
+        """Concrete backend ("dense"/"sparse") for a problem size."""
+        from .interactions import resolve_backend
+        return resolve_backend(self.interaction_backend, num_instances,
+                               self.sparse_min_instances)
 
     def qubit_site_pitch_mm(self, qubit_size_mm: float = constants.QUBIT_SIZE_MM) -> float:
         """Legalization lattice pitch for qubits."""

@@ -21,6 +21,7 @@ import numpy as np
 from .config import PlacerConfig
 from .density import DensityGrid
 from .frequency_force import frequency_energy_and_grad
+from .interactions import BACKEND_SPARSE, PrunedCollisionPairs
 from .optimizer import NesterovOptimizer
 from .preprocess import PlacementProblem
 from .wirelength import hpwl, wirelength_and_grad
@@ -48,11 +49,20 @@ class GlobalPlaceResult:
         positions: Final ``(n, 2)`` instance centres (not yet legal).
         history: Per-iteration statistics.
         converged: True when the overflow target was reached.
+        peak_collision_pairs: Largest frequency-pair set evaluated in
+            one objective call (static on the dense backend; the
+            neighbor-list high-water mark on the sparse one).
+        freq_list_rebuilds: Sparse-only: neighbor-list rebuild count.
+        peak_pair_candidates: Sparse-only: largest raw grid candidate
+            set screened during a rebuild.
     """
 
     positions: np.ndarray
     history: List[IterationStats]
     converged: bool
+    peak_collision_pairs: int = 0
+    freq_list_rebuilds: int = 0
+    peak_pair_candidates: int = 0
 
     @property
     def iterations(self) -> int:
@@ -82,11 +92,40 @@ class GlobalPlacer:
         self._lambda_freq = 0.0
         self._last_overflow = 1.0
         self._last_parts: Tuple[float, float, float] = (0.0, 0.0, 0.0)
-        # Static scatter index for the frequency force (pairs never
-        # change between iterations).
-        pairs = problem.collision_pairs
-        self._freq_pair_index = (
-            np.concatenate([pairs[:, 0], pairs[:, 1]]) if pairs.size else None)
+        backend = self.config.resolved_interaction_backend(
+            problem.num_instances)
+        self._sparse_pairs: Optional[PrunedCollisionPairs] = None
+        self._dense_pairs = problem.collision_pairs
+        self._freq_pair_index: Optional[np.ndarray] = None
+        self._peak_pairs = 0
+        if backend == BACKEND_SPARSE and self.config.frequency_aware:
+            # Distance-pruned neighbor list instead of the full map.
+            self._sparse_pairs = PrunedCollisionPairs(
+                problem.frequencies, problem.resonator_index,
+                self.config.detuning_threshold_ghz,
+                cutoff_mm=self.config.freq_pair_cutoff_mm,
+                skin_mm=self.config.freq_pair_skin_mm)
+        elif self.config.frequency_aware:
+            # Static pair set with a precomputed scatter index (pairs
+            # never change between iterations).  Materialises the map
+            # when the problem was built sparse but this placer resolves
+            # dense — a free lookup in the ordinary dense-on-dense case.
+            self._dense_pairs = problem.resonant_collision_pairs()
+            pairs = self._dense_pairs
+            self._freq_pair_index = (
+                np.concatenate([pairs[:, 0], pairs[:, 1]])
+                if pairs.size else None)
+            self._peak_pairs = int(pairs.shape[0])
+
+    def _freq_pairs(self, positions: np.ndarray
+                    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Active collision pairs and scatter index for these positions."""
+        if self._sparse_pairs is not None:
+            pairs, index = self._sparse_pairs.pairs(positions)
+            self._peak_pairs = max(self._peak_pairs,
+                                   self._sparse_pairs.peak_pairs)
+            return pairs, index
+        return self._dense_pairs, self._freq_pair_index
 
     # -- objective ---------------------------------------------------------------
 
@@ -98,13 +137,14 @@ class GlobalPlacer:
         value = wl + self._lambda_density * dens.energy
         grad = wl_grad + self._lambda_density * dens.grad
         freq_energy = 0.0
-        if cfg.frequency_aware and self.problem.collision_pairs.size:
-            freq_energy, freq_grad = frequency_energy_and_grad(
-                positions, self.problem.collision_pairs,
-                cfg.freq_force_smoothing_mm,
-                pair_index=self._freq_pair_index)
-            value += self._lambda_freq * freq_energy
-            grad = grad + self._lambda_freq * freq_grad
+        if cfg.frequency_aware:
+            pairs, pair_index = self._freq_pairs(positions)
+            if pairs.size:
+                freq_energy, freq_grad = frequency_energy_and_grad(
+                    positions, pairs, cfg.freq_force_smoothing_mm,
+                    pair_index=pair_index)
+                value += self._lambda_freq * freq_energy
+                grad = grad + self._lambda_freq * freq_grad
         self._last_overflow = dens.overflow
         self._last_parts = (wl, dens.energy, freq_energy)
         return value, grad
@@ -127,13 +167,14 @@ class GlobalPlacer:
         wl_norm = float(np.abs(wl_grad).sum())
         dens_norm = float(np.abs(dens.grad).sum())
         self._lambda_density = wl_norm / max(dens_norm, 1e-12) * 0.5
-        if cfg.frequency_aware and self.problem.collision_pairs.size:
-            _, freq_grad = frequency_energy_and_grad(
-                positions, self.problem.collision_pairs,
-                cfg.freq_force_smoothing_mm)
-            freq_norm = float(np.abs(freq_grad).sum())
-            self._lambda_freq = (cfg.initial_freq_weight * wl_norm
-                                 / max(freq_norm, 1e-12))
+        if cfg.frequency_aware:
+            pairs, _ = self._freq_pairs(positions)
+            if pairs.size:
+                _, freq_grad = frequency_energy_and_grad(
+                    positions, pairs, cfg.freq_force_smoothing_mm)
+                freq_norm = float(np.abs(freq_grad).sum())
+                self._lambda_freq = (cfg.initial_freq_weight * wl_norm
+                                     / max(freq_norm, 1e-12))
 
     # -- main loop -------------------------------------------------------------------
 
@@ -169,8 +210,12 @@ class GlobalPlacer:
             if it >= cfg.min_iterations and self._last_overflow <= cfg.overflow_target:
                 converged = True
                 break
+        sparse = self._sparse_pairs
         return GlobalPlaceResult(
             positions=self._project(optimizer.x),
             history=history,
             converged=converged,
+            peak_collision_pairs=self._peak_pairs,
+            freq_list_rebuilds=sparse.rebuilds if sparse else 0,
+            peak_pair_candidates=sparse.peak_candidates if sparse else 0,
         )

@@ -24,13 +24,15 @@ frequency-aware — the Classic baseline skips this check, which is where
 its frequency hotspots come from); all other pairs need the mean routing
 clearance.
 
-This module is the *fast path*: pairwise required gaps are precomputed
-as dense matrices, spiral offsets are generated once per radius with
-numpy, and candidate sites are screened ring-by-ring against all placed
-instances with array arithmetic instead of per-pair Python calls.  The
-seed's scalar implementation is preserved verbatim in
-:mod:`repro.core.legalizer_reference` and the equivalence tests pin this
-implementation to it.
+This module is the *fast path*: pairwise required gaps come from a
+:class:`~repro.core.interactions.RequiredGapTable` (dense ``(n, n)``
+matrices on paper-scale problems, on-demand rows on condor-class ones —
+the strategy follows ``config.interaction_backend``), spiral offsets are
+generated once per radius with numpy, and candidate sites are screened
+ring-by-ring against all placed instances with array arithmetic instead
+of per-pair Python calls.  The seed's scalar implementation is preserved
+verbatim in :mod:`repro.core.legalizer_reference` and the equivalence
+tests pin this implementation to it.
 """
 
 from __future__ import annotations
@@ -44,6 +46,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from .config import PlacerConfig
+from .interactions import RequiredGapTable
 from .preprocess import PlacementProblem
 
 #: Comparison slack absorbing float rounding in gap/required comparisons.
@@ -161,40 +164,15 @@ class Legalizer:
         n = p.num_instances
         self._placed_mask = np.zeros(n, dtype=bool)
         self._half = 0.5 * np.asarray(p.sizes, dtype=float)
-        self._req_strict, self._req_relaxed = self._required_gap_matrices()
+        self._req = RequiredGapTable(
+            p.resonator_index, p.frequencies, p.clearances, p.paddings,
+            p.attached_resonators, self.config.detuning_threshold_ghz,
+            backend=self.config.resolved_interaction_backend(n))
 
     @property
     def _offsets(self) -> List[Tuple[int, int]]:
         """Seed-compatible spiral offsets as a list of tuples."""
         return [(int(dx), int(dy)) for dx, dy in self._offsets_arr]
-
-    def _required_gap_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Dense ``(n, n)`` required edge-to-edge gaps.
-
-        ``strict`` applies the resonant checker tau (padding sum for
-        resonant non-intended pairs); ``relaxed`` is the plain clearance
-        rule.  Intended pairs require no gap in either.
-        """
-        p = self.problem
-        n = p.num_instances
-        res = np.asarray(p.resonator_index, dtype=np.int64)
-        same_res = (res[:, None] == res[None, :]) & (res[:, None] >= 0)
-        attach = np.zeros((n, n), dtype=bool)
-        for qi, rset in p.attached_resonators.items():
-            if rset:
-                attach[qi] = np.isin(res, np.fromiter(rset, dtype=np.int64))
-        intended = same_res | attach | attach.T
-        freqs = np.asarray(p.frequencies, dtype=float)
-        resonant = (np.abs(freqs[:, None] - freqs[None, :])
-                    <= self.config.detuning_threshold_ghz)
-        clear = np.asarray(p.clearances, dtype=float)
-        pads = np.asarray(p.paddings, dtype=float)
-        clear_req = 0.5 * (clear[:, None] + clear[None, :])
-        pad_req = pads[:, None] + pads[None, :]
-        strict = np.where(intended, 0.0,
-                          np.where(resonant, pad_req, clear_req))
-        relaxed = np.where(intended, 0.0, clear_req)
-        return strict, relaxed
 
     # -- geometric feasibility ---------------------------------------------------
 
@@ -239,8 +217,7 @@ class Legalizer:
         if js.size == 0:
             return True
         gaps = self._gaps_to(js, i, x, y)
-        req = (self._req_strict if enforce_resonant
-               else self._req_relaxed)[i, js]
+        req = self._req.lookup(i, js, enforce_resonant)
         return bool(np.all(gaps >= req - _TOL))
 
     def _first_feasible_site(self, i: int, sites: Sequence[Tuple[float, float]],
@@ -279,8 +256,7 @@ class Legalizer:
         gaps = np.where((gx > 0.0) | (gy > 0.0),
                         np.sqrt(gxc * gxc + gyc * gyc),
                         np.maximum(gx, gy))
-        req = (self._req_strict if enforce_resonant
-               else self._req_relaxed)[i, js]
+        req = self._req.lookup(i, js, enforce_resonant)
         ok = np.all(gaps >= req[None, :] - _TOL, axis=1)
         hits = np.flatnonzero(ok)
         if hits.size == 0:
@@ -321,8 +297,7 @@ class Legalizer:
             enforce_resonant = self.config.frequency_aware
         base_x = round(target[0] / pitch) * pitch
         base_y = round(target[1] / pitch) * pitch
-        req_row = (self._req_strict if enforce_resonant
-                   else self._req_relaxed)[i]
+        req_row = self._req.row(i, enforce_resonant)
         offs = self._offsets_arr
         max_ring = self.config.spiral_max_radius_sites
         for ring in range(max_ring + 1):

@@ -44,11 +44,16 @@ class PlacementProblem:
         frequencies: ``(n,)`` operating frequencies (GHz).
         resonator_index: ``(n,)`` owner resonator id, -1 for qubits.
         is_qubit: ``(n,)`` bool mask.
-        collision_pairs: ``(p, 2)`` int array of resonant pairs.
+        collision_pairs: ``(p, 2)`` int array of resonant pairs.  Empty
+            on sparse-backend problems, where the engine prunes pairs by
+            distance instead of materialising the full map (use
+            :meth:`resonant_collision_pairs` to force materialisation).
         region: Placement canvas.
         initial_positions: ``(n, 2)`` deterministic starting centres.
         attached_resonators: qubit instance index -> resonator ids whose
             segments may legally abut that qubit.
+        interaction_backend: Resolved spatial backend ("dense"/"sparse")
+            this problem was built for.
     """
 
     netlist: QuantumNetlist
@@ -65,6 +70,7 @@ class PlacementProblem:
     region: Rect
     initial_positions: np.ndarray
     attached_resonators: Dict[int, Set[int]]
+    interaction_backend: str = "dense"
 
     @property
     def num_instances(self) -> int:
@@ -105,6 +111,24 @@ class PlacementProblem:
         """Eq. (9)'s tau: detuning within the threshold."""
         return (abs(float(self.frequencies[i] - self.frequencies[j]))
                 <= self.config.detuning_threshold_ghz)
+
+    def resonant_collision_pairs(self) -> np.ndarray:
+        """The full frequency collision map, materialised on demand.
+
+        Dense problems precomputed it at build time; sparse problems
+        skipped the O(n^2 / levels) materialisation, so the first call
+        computes and caches it.  Prefer the engine's distance-pruned
+        provider on sparse problems — this accessor exists for
+        diagnostics and the dense/sparse equivalence tests.
+        """
+        if self.collision_pairs.size or self.interaction_backend != "sparse":
+            return self.collision_pairs
+        cached = getattr(self, "_lazy_collision_pairs", None)
+        if cached is None:
+            cached = _collision_pairs(self.frequencies, self.resonator_index,
+                                      self.config.detuning_threshold_ghz)
+            self._lazy_collision_pairs = cached
+        return cached
 
 
 def _collision_pairs(frequencies: np.ndarray, resonator_index: np.ndarray,
@@ -187,8 +211,15 @@ def build_problem(netlist: QuantumNetlist,
 
     initial = _initial_positions(netlist, instances, qubit_instance_index,
                                  region, config)
-    collision = _collision_pairs(frequencies, resonator_index,
-                                 config.detuning_threshold_ghz)
+    backend = config.resolved_interaction_backend(n)
+    if backend == "sparse":
+        # The engine prunes resonant pairs by distance on sparse
+        # problems; materialising the full collision map here would be
+        # the very O(n^2) structure the backend exists to avoid.
+        collision = np.zeros((0, 2), dtype=np.int64)
+    else:
+        collision = _collision_pairs(frequencies, resonator_index,
+                                     config.detuning_threshold_ghz)
     return PlacementProblem(
         netlist=netlist,
         config=config,
@@ -204,6 +235,7 @@ def build_problem(netlist: QuantumNetlist,
         region=region,
         initial_positions=initial,
         attached_resonators=attached,
+        interaction_backend=backend,
     )
 
 
@@ -234,15 +266,18 @@ def _initial_positions(netlist: QuantumNetlist, instances: Sequence[Instance],
         positions[inst_idx, 1] = region.y + region.h * margin + (cy - ys.min()) * scale_y
 
     jitter = 0.25 * config.segment_site_pitch_mm()
+    # One pass groups segments by resonator (same enumeration order as a
+    # per-resonator scan) — the repeated O(n) scans were a scaling sink
+    # on condor-class netlists with thousands of resonators.
+    segs_by_resonator: Dict[int, List[int]] = {}
+    for i, inst in enumerate(instances):
+        if isinstance(inst, ResonatorSegment):
+            segs_by_resonator.setdefault(inst.resonator_index, []).append(i)
     for resonator in netlist.resonators:
         u, v = resonator.endpoints
         pu = positions[qubit_instance_index[u]]
         pv = positions[qubit_instance_index[v]]
-        seg_ids = [
-            i for i, inst in enumerate(instances)
-            if isinstance(inst, ResonatorSegment)
-            and inst.resonator_index == resonator.index
-        ]
+        seg_ids = segs_by_resonator.get(resonator.index, [])
         count = len(seg_ids)
         for k, i in enumerate(seg_ids):
             t = (k + 1) / (count + 1)

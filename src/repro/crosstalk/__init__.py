@@ -19,7 +19,9 @@ from .violations import (
     KIND_RR,
     SpatialViolation,
     count_by_kind,
+    count_candidate_pairs,
     find_spatial_violations,
+    spatial_candidate_pairs,
 )
 
 __all__ = [
@@ -34,7 +36,9 @@ __all__ = [
     "ViolationTable",
     "average_program_fidelity",
     "count_by_kind",
+    "count_candidate_pairs",
     "crosstalk_error",
+    "spatial_candidate_pairs",
     "decoherence_error",
     "estimate_program_fidelity",
     "find_spatial_violations",

@@ -22,6 +22,11 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from .. import constants
+from ..core.interactions import (
+    dense_candidate_pairs,
+    grid_candidate_pairs,
+    resolve_backend,
+)
 from ..devices.components import Instance, Qubit, ResonatorSegment, same_resonator
 from ..devices.geometry import Rect
 from ..devices.layout import Layout
@@ -132,9 +137,62 @@ def _pair_physics(a: Instance, b: Instance, gap_mm: float, facing_mm: float,
     return detuning, g, g_eff, resonant
 
 
+def spatial_candidate_pairs(positions: np.ndarray, half_w: np.ndarray,
+                            half_h: np.ndarray, pads: np.ndarray,
+                            backend: str = "auto"
+                            ) -> Tuple[np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray]:
+    """``(i, j, |dx|, |dy|)`` of pairs whose padded footprints touch.
+
+    The dense strategy screens every ``triu`` pair; the sparse one
+    buckets instances into a uniform grid sized to the largest possible
+    padded reach, so only nearby pairs are screened.  Both return the
+    same pairs in the same lexicographic order, so every downstream
+    filter produces identical violation lists under either strategy.
+    The per-axis centre distances come back alongside the indices so
+    the violation scan never recomputes them.
+    """
+    n = positions.shape[0]
+    resolved = resolve_backend(backend, n)
+    if resolved == "dense":
+        iu, ju = dense_candidate_pairs(n)
+        presorted = True
+    else:
+        # pw, ph <= 2 * max(half + pad): a cutoff of that bound makes
+        # the grid candidates a superset of every touching pair.
+        reach = 2.0 * float(np.max(np.maximum(half_w, half_h) + pads))
+        iu, ju = grid_candidate_pairs(positions, max(reach, 1e-9),
+                                      sort=False)
+        presorted = False
+    dx = np.abs(positions[iu, 0] - positions[ju, 0])
+    dy = np.abs(positions[iu, 1] - positions[ju, 1])
+    pw = half_w[iu] + half_w[ju] + pads[iu] + pads[ju]
+    ph = half_h[iu] + half_h[ju] + pads[iu] + pads[ju]
+    cand = (dx <= pw) & (dy <= ph)
+    iu, ju, dx, dy = iu[cand], ju[cand], dx[cand], dy[cand]
+    if not presorted and iu.size:
+        order = np.argsort(iu.astype(np.int64) * np.int64(n) + ju)
+        iu, ju, dx, dy = iu[order], ju[order], dx[order], dy[order]
+    return iu, ju, dx, dy
+
+
+def count_candidate_pairs(layout: Layout, backend: str = "auto") -> int:
+    """Number of padded-footprint candidate pairs (scaling telemetry)."""
+    insts = layout.instances
+    pos = np.asarray(layout.positions, dtype=float)
+    iu, _, _, _ = spatial_candidate_pairs(
+        pos,
+        np.array([0.5 * it.width for it in insts]),
+        np.array([0.5 * it.height for it in insts]),
+        np.array([it.padding for it in insts]),
+        backend=backend)
+    return int(iu.size)
+
+
 def find_spatial_violations(layout: Layout,
                             detuning_threshold_ghz: float = constants.DETUNING_THRESHOLD_GHZ,
-                            include_qr: bool = True) -> List[SpatialViolation]:
+                            include_qr: bool = True,
+                            backend: str = "auto") -> List[SpatialViolation]:
     """All spatial violations in a layout.
 
     A pair violates when the padded footprints intersect with positive
@@ -146,6 +204,8 @@ def find_spatial_violations(layout: Layout,
         detuning_threshold_ghz: Resonance threshold ``Delta_c``.
         include_qr: Also report qubit-resonator violations (these are
             deeply detuned and mostly informational).
+        backend: Candidate-pair strategy ("auto"/"dense"/"sparse"); the
+            resulting violation list is identical under either.
     """
     n = layout.num_instances
     if n < 2:
@@ -164,13 +224,8 @@ def find_spatial_violations(layout: Layout,
 
     # Candidate pairs: padded footprints touching or overlapping — the
     # same pair set the grid-hashed neighbour query used to yield.
-    iu, ju = np.triu_indices(n, 1)
-    dx = np.abs(pos[iu, 0] - pos[ju, 0])
-    dy = np.abs(pos[iu, 1] - pos[ju, 1])
-    pw = half_w[iu] + half_w[ju] + pads[iu] + pads[ju]
-    ph = half_h[iu] + half_h[ju] + pads[iu] + pads[ju]
-    cand = (dx <= pw) & (dy <= ph)
-    iu, ju, dx, dy = iu[cand], ju[cand], dx[cand], dy[cand]
+    iu, ju, dx, dy = spatial_candidate_pairs(pos, half_w, half_h, pads,
+                                             backend=backend)
     if iu.size == 0:
         return []
 

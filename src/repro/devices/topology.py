@@ -17,13 +17,23 @@ Every topology carries canonical planar coordinates (in abstract lattice
 units where adjacent qubits sit ~1 unit apart).  These coordinates drive
 the ``Human`` baseline layout and give the placers a deterministic
 initial-position hint.
+
+Beyond Table I, two synthetic *condor-class* heavy-hex tiers exercise
+the sparse interaction backend at production scale:
+
+============== ====== =============================================
+name           qubits description
+============== ====== =============================================
+condor-sm-433  433    heavy-hex scale smoke tier (13 long rows x 27)
+condor-1121    1121   IBM Condor-class heavy-hex (21 long rows x 43)
+============== ====== =============================================
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import networkx as nx
 
@@ -44,6 +54,40 @@ FALCON_27_COORDS: Tuple[Coord, ...] = (
     (6, 3), (7, 0), (7, 1), (7, 3), (7, 4), (8, 1), (8, 3), (9, 1),
     (9, 2), (9, 3), (10, 3),
 )
+
+
+#: Above this node count :meth:`Topology.hop_distances` switches from a
+#: materialised all-pairs table to lazy per-source BFS rows.
+LAZY_HOP_DISTANCE_MIN_NODES = 200
+
+
+class _LazyHopDistances(Mapping):
+    """Per-source hop-distance rows, computed on first access.
+
+    Behaves like the eager ``{src: {dst: hops}}`` table for the
+    ``table[src][dst]`` / subset-comprehension access patterns of the
+    mapper and router, but holds only the rows actually requested.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self._graph = graph
+        self._rows: Dict[int, Dict[int, int]] = {}
+
+    def __getitem__(self, src: int) -> Dict[int, int]:
+        row = self._rows.get(src)
+        if row is None:
+            if src not in self._graph:
+                raise KeyError(src)
+            row = dict(nx.single_source_shortest_path_length(
+                self._graph, src))
+            self._rows[src] = row
+        return row
+
+    def __iter__(self):
+        return iter(self._graph.nodes)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
 
 
 @dataclass(frozen=True)
@@ -103,16 +147,24 @@ class Topology:
         """All-pairs shortest-path hop distances."""
         return {s: dict(lengths) for s, lengths in nx.all_pairs_shortest_path_length(self.graph)}
 
-    def hop_distances(self) -> Dict[int, Dict[int, int]]:
-        """Cached all-pairs hop distances.
+    def hop_distances(self) -> Mapping[int, Dict[int, int]]:
+        """Cached hop distances, keyed by source qubit.
 
         The mapper and SABRE router consult the same distance table for
-        every mapping subset, so it is computed once per topology.  Do
+        every mapping subset, so it is computed once per topology.  Up
+        to :data:`LAZY_HOP_DISTANCE_MIN_NODES` nodes the full all-pairs
+        table is materialised eagerly (exactly as before); above it a
+        lazy per-source view computes and caches one BFS row on first
+        access, so condor-class graphs never pay the O(n^2) dict-of-dict
+        construction for the handful of sources a mapping touches.  Do
         not mutate the returned dicts.
         """
         cached = self.__dict__.get("_hop_distances")
         if cached is None:
-            cached = self.distance_matrix()
+            if self.num_qubits > LAZY_HOP_DISTANCE_MIN_NODES:
+                cached = _LazyHopDistances(self.graph)
+            else:
+                cached = self.distance_matrix()
             self.__dict__["_hop_distances"] = cached
         return cached
 
@@ -155,11 +207,15 @@ def falcon_topology() -> Topology:
 def heavy_hex_lattice(long_rows: int = 7, row_len: int = 15) -> Topology:
     """Generic IBM-style heavy-hex lattice.
 
-    Long rows of ``row_len`` qubits alternate with 4-qubit connector rows;
-    connector columns alternate between offsets 0 and 2 with spacing 4.
-    The first long row drops its last qubit and the final long row drops
-    its first one, following the IBM Eagle (127-qubit) pattern:
-    ``heavy_hex_lattice(7, 15)`` yields exactly 127 qubits / 144 couplers.
+    Long rows of ``row_len`` qubits alternate with connector rows whose
+    columns alternate between offsets 0 and 2 with spacing 4 (one
+    connector per reachable column, so wider lattices scale the
+    connector count with ``row_len``; at the Eagle width of 15 exactly
+    four per row, as before).  The first long row drops its last qubit
+    and the final long row drops its first one, following the IBM Eagle
+    (127-qubit) pattern: ``heavy_hex_lattice(7, 15)`` yields exactly
+    127 qubits / 144 couplers, and ``heavy_hex_lattice(21, 43)`` the
+    1121-qubit Condor-class lattice.
     """
     if long_rows < 2:
         raise ValueError("need at least two long rows")
@@ -187,7 +243,7 @@ def heavy_hex_lattice(long_rows: int = 7, row_len: int = 15) -> Topology:
                 edges.append((row_nodes[c], row_nodes[c + 1]))
         if r > 0:
             offset = 0 if (r - 1) % 2 == 0 else 2
-            connector_cols = [offset + 4 * k for k in range(4)]
+            connector_cols = range(offset, row_len, 4)
             for c in connector_cols:
                 if c not in previous_row or c not in row_nodes:
                     continue
@@ -210,6 +266,37 @@ def eagle_topology() -> Topology:
         raise AssertionError(f"Eagle generator produced {topo.num_qubits} qubits")
     return Topology(name="eagle-127",
                     description="Heavy Hex, Eagle processor from IBM",
+                    graph=topo.graph, coords=topo.coords)
+
+
+def condor_topology() -> Topology:
+    """Synthetic IBM Condor-class 1121-qubit heavy-hex lattice.
+
+    21 long rows of 43 qubits with 11 connectors per connector row:
+    ``21 * 43 - 2 + 20 * 11 = 1121`` qubits — the production-scale tier
+    the sparse interaction backend targets (qGDP's condor-1121 scale).
+    """
+    topo = heavy_hex_lattice(21, 43)
+    if topo.num_qubits != 1121:
+        raise AssertionError(
+            f"Condor generator produced {topo.num_qubits} qubits")
+    return Topology(name="condor-1121",
+                    description="Heavy Hex, Condor-class synthetic lattice",
+                    graph=topo.graph, coords=topo.coords)
+
+
+def condor_sm_topology() -> Topology:
+    """Condor smoke tier: 433-qubit heavy-hex (13 long rows of 27).
+
+    ``13 * 27 - 2 + 12 * 7 = 433`` qubits — large enough to exercise
+    the sparse backend and the scale benches, small enough for CI.
+    """
+    topo = heavy_hex_lattice(13, 27)
+    if topo.num_qubits != 433:
+        raise AssertionError(
+            f"Condor-SM generator produced {topo.num_qubits} qubits")
+    return Topology(name="condor-sm-433",
+                    description="Heavy Hex, Condor-class smoke tier",
                     graph=topo.graph, coords=topo.coords)
 
 
@@ -315,7 +402,8 @@ def xtree_topology(branching: Sequence[int] = (4, 3, 3),
     return topo
 
 
-#: Registry of the six Table I topologies, keyed by canonical name.
+#: Registry of the six Table I topologies plus the condor scale tiers,
+#: keyed by canonical name.
 TOPOLOGY_FACTORIES: Dict[str, Callable[[], Topology]] = {
     "grid-25": grid_topology,
     "xtree-53": xtree_topology,
@@ -323,12 +411,17 @@ TOPOLOGY_FACTORIES: Dict[str, Callable[[], Topology]] = {
     "eagle-127": eagle_topology,
     "aspen11-40": aspen11_topology,
     "aspenm-80": aspen_m_topology,
+    "condor-sm-433": condor_sm_topology,
+    "condor-1121": condor_topology,
 }
 
 #: Evaluation ordering used by the paper's figures.
 PAPER_TOPOLOGY_ORDER: Tuple[str, ...] = (
     "grid-25", "xtree-53", "falcon-27", "eagle-127", "aspen11-40", "aspenm-80",
 )
+
+#: Synthetic scale tiers beyond the paper evaluation (smallest first).
+SCALE_TOPOLOGY_ORDER: Tuple[str, ...] = ("condor-sm-433", "condor-1121")
 
 #: Short display labels matching the paper's figure axes.
 TOPOLOGY_LABELS: Dict[str, str] = {
@@ -338,6 +431,8 @@ TOPOLOGY_LABELS: Dict[str, str] = {
     "eagle-127": "Eagle",
     "aspen11-40": "Aspen-11",
     "aspenm-80": "Aspen-M",
+    "condor-sm-433": "Condor-SM",
+    "condor-1121": "Condor",
 }
 
 

@@ -1,0 +1,95 @@
+"""On-disk caching of evaluation-mapping batches (MappingJob)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import build_suite, fidelity_experiment
+from repro.analysis.runner import (
+    MappingJob,
+    ParallelRunner,
+    job_token,
+    run_mapping_job,
+)
+from repro.circuits.library import get_benchmark
+from repro.circuits.mapping import evaluation_mappings
+from repro.devices.topology import get_topology
+
+
+class TestMappingJob:
+    def test_worker_matches_direct_computation(self):
+        job = MappingJob(benchmark="bv-4", topology="grid-25",
+                         num_mappings=3, base_seed=5)
+        via_job = run_mapping_job(job)
+        direct = evaluation_mappings(get_benchmark("bv-4"),
+                                     get_topology("grid-25"),
+                                     num_mappings=3, base_seed=5)
+        assert len(via_job) == len(direct) == 3
+        for a, b in zip(via_job, direct):
+            assert a.initial_mapping == b.initial_mapping
+            assert a.final_mapping == b.final_mapping
+            assert a.swap_count == b.swap_count
+            assert a.duration_ns == b.duration_ns
+
+    def test_token_covers_transpiler_config(self):
+        base = MappingJob(benchmark="bv-4", topology="grid-25",
+                          num_mappings=3)
+        assert job_token(base) != job_token(
+            MappingJob(benchmark="bv-4", topology="grid-25",
+                       num_mappings=3, router="sabre"))
+        assert job_token(base) != job_token(
+            MappingJob(benchmark="bv-4", topology="grid-25",
+                       num_mappings=3, optimization_level=1))
+        assert job_token(base) != job_token(
+            MappingJob(benchmark="bv-4", topology="falcon-27",
+                       num_mappings=3))
+        assert job_token(base) != job_token(
+            MappingJob(benchmark="bv-4", topology="grid-25",
+                       num_mappings=3, base_seed=1))
+
+    def test_cache_skips_recomputation(self, tmp_path):
+        job = MappingJob(benchmark="bv-4", topology="grid-25",
+                         num_mappings=2)
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        first = runner.map(run_mapping_job, [job], namespace="mappings")[0]
+        assert runner.cache_misses == 1
+        second = runner.map(run_mapping_job, [job], namespace="mappings")[0]
+        assert runner.cache_hits == 1
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.final_mapping == b.final_mapping
+            assert a.swap_count == b.swap_count
+
+
+class TestFidelityExperimentCache:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return build_suite("grid-25")
+
+    def test_cached_run_matches_uncached(self, suite, tmp_path):
+        benchmarks = ("bv-4", "ising-4")
+        plain = fidelity_experiment(suite, benchmarks, num_mappings=3)
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        cached = fidelity_experiment(suite, benchmarks, num_mappings=3,
+                                     runner=runner)
+        assert runner.cache_misses == len(benchmarks)
+        assert plain.keys() == cached.keys()
+        for bench in plain:
+            for strategy in plain[bench]:
+                assert plain[bench][strategy] == cached[bench][strategy]
+
+    def test_second_run_hits_cache(self, suite, tmp_path):
+        benchmarks = ("bv-4",)
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        first = fidelity_experiment(suite, benchmarks, num_mappings=3,
+                                    runner=runner)
+        second = fidelity_experiment(suite, benchmarks, num_mappings=3,
+                                     runner=runner)
+        assert runner.cache_hits == 1
+        assert first == second
+
+    def test_wide_benchmarks_still_skipped(self, suite, tmp_path):
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        table = fidelity_experiment(suite, ("bv-4", "qgan-9"),
+                                    num_mappings=2, runner=runner)
+        # qgan-9 fits grid-25; both rows present, none crash.
+        assert set(table) <= {"bv-4", "qgan-9"}

@@ -1,0 +1,222 @@
+"""Unit tests for the spatial interaction backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PlacerConfig
+from repro.core.interactions import (
+    DEFAULT_SPARSE_MIN_INSTANCES,
+    PrunedCollisionPairs,
+    RequiredGapTable,
+    dense_candidate_pairs,
+    grid_candidate_pairs,
+    resolve_backend,
+    sort_pairs,
+)
+from repro.core.preprocess import build_problem
+from repro.devices.netlist import build_netlist
+from repro.devices.topology import get_topology
+
+
+class TestResolveBackend:
+    def test_explicit_names_pass_through(self):
+        assert resolve_backend("dense", 10**9) == "dense"
+        assert resolve_backend("sparse", 2) == "sparse"
+
+    def test_auto_switches_on_problem_size(self):
+        assert resolve_backend("auto", DEFAULT_SPARSE_MIN_INSTANCES) == "dense"
+        assert resolve_backend("auto",
+                               DEFAULT_SPARSE_MIN_INSTANCES + 1) == "sparse"
+
+    def test_auto_respects_custom_threshold(self):
+        assert resolve_backend("auto", 50, sparse_min_instances=10) == "sparse"
+        assert resolve_backend("auto", 50, sparse_min_instances=50) == "dense"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("banded", 10)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlacerConfig(interaction_backend="banded")
+        with pytest.raises(ValueError):
+            PlacerConfig(freq_pair_cutoff_mm=0.0)
+
+    def test_config_resolution_helper(self):
+        cfg = PlacerConfig(interaction_backend="auto",
+                           sparse_min_instances=100)
+        assert cfg.resolved_interaction_backend(100) == "dense"
+        assert cfg.resolved_interaction_backend(101) == "sparse"
+
+
+class TestGridCandidatePairs:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_superset_of_chebyshev_neighbours(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-5.0, 5.0, size=(int(rng.integers(2, 250)), 2))
+        cutoff = float(rng.uniform(0.3, 3.0))
+        a, b = grid_candidate_pairs(pts, cutoff)
+        got = set(zip(a.tolist(), b.tolist()))
+        iu, ju = np.triu_indices(len(pts), 1)
+        cheb = np.abs(pts[iu] - pts[ju]).max(axis=1)
+        need = set(zip(iu[cheb <= cutoff].tolist(),
+                       ju[cheb <= cutoff].tolist()))
+        assert need <= got
+        # Nothing beyond twice the cutoff on either axis.
+        far = set(zip(iu[cheb > 2.0 * cutoff + 1e-9].tolist(),
+                      ju[cheb > 2.0 * cutoff + 1e-9].tolist()))
+        assert not (far & got)
+
+    def test_lex_sorted_and_unique(self):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0.0, 2.0, size=(120, 2))
+        a, b = grid_candidate_pairs(pts, 0.5)
+        pairs = np.stack([a, b], axis=1)
+        order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+        assert np.array_equal(pairs, pairs[order])
+        assert len({(i, j) for i, j in pairs.tolist()}) == len(pairs)
+        assert bool(np.all(a < b))
+
+    def test_huge_cutoff_reproduces_dense_pairs(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0.0, 1.0, size=(40, 2))
+        a, b = grid_candidate_pairs(pts, 100.0)
+        iu, ju = dense_candidate_pairs(40)
+        assert np.array_equal(a, iu)
+        assert np.array_equal(b, ju)
+
+    def test_degenerate_inputs(self):
+        a, b = grid_candidate_pairs(np.zeros((1, 2)), 1.0)
+        assert a.size == 0 and b.size == 0
+        with pytest.raises(ValueError):
+            grid_candidate_pairs(np.zeros((3, 2)), 0.0)
+
+    def test_coincident_points_all_pair(self):
+        pts = np.zeros((10, 2))
+        a, b = grid_candidate_pairs(pts, 0.1)
+        assert a.size == 45  # 10 choose 2
+
+    def test_sort_pairs_matches_lexsort(self):
+        rng = np.random.default_rng(11)
+        a = rng.integers(0, 50, size=200)
+        b = rng.integers(50, 100, size=200)
+        sa, sb = sort_pairs(a.copy(), b.copy(), 100)
+        pairs = np.stack([a, b], axis=1)
+        ref = pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+        assert np.array_equal(np.stack([sa, sb], axis=1), ref)
+
+
+def _gap_table_args(problem):
+    return (problem.resonator_index, problem.frequencies,
+            problem.clearances, problem.paddings,
+            problem.attached_resonators,
+            problem.config.detuning_threshold_ghz)
+
+
+class TestRequiredGapTable:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return build_problem(build_netlist(get_topology("falcon-27")),
+                             PlacerConfig())
+
+    def test_sparse_rows_match_dense(self, problem):
+        dense = RequiredGapTable(*_gap_table_args(problem), backend="dense")
+        sparse = RequiredGapTable(*_gap_table_args(problem), backend="sparse")
+        for i in range(0, problem.num_instances, 5):
+            for strict in (True, False):
+                assert np.array_equal(dense.row(i, strict),
+                                      sparse.row(i, strict))
+
+    def test_lookup_matches_row(self, problem):
+        sparse = RequiredGapTable(*_gap_table_args(problem), backend="sparse")
+        js = np.array([0, 3, 17, 40])
+        got = sparse.lookup(5, js, True)
+        assert np.array_equal(got, sparse.row(5, True)[js])
+
+    def test_intended_pairs_require_no_gap(self, problem):
+        table = RequiredGapTable(*_gap_table_args(problem), backend="sparse")
+        # A segment and its sibling: same resonator index.
+        res = problem.resonator_index
+        segs = np.flatnonzero(res == res[np.argmax(res >= 0)])
+        if segs.size >= 2:
+            row = table.row(int(segs[0]), True)
+            assert row[segs[1]] == 0.0
+
+    def test_requires_resolved_backend(self, problem):
+        with pytest.raises(ValueError):
+            RequiredGapTable(*_gap_table_args(problem), backend="auto")
+
+
+class TestPrunedCollisionPairs:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return build_problem(build_netlist(get_topology("grid-25")),
+                             PlacerConfig())
+
+    def test_huge_cutoff_matches_dense_collision_map(self, problem):
+        provider = PrunedCollisionPairs(
+            problem.frequencies, problem.resonator_index,
+            problem.config.detuning_threshold_ghz,
+            cutoff_mm=1e6, skin_mm=1.0)
+        pairs, index = provider.pairs(problem.initial_positions)
+        assert np.array_equal(pairs, problem.collision_pairs)
+        assert np.array_equal(
+            index, np.concatenate([pairs[:, 0], pairs[:, 1]]))
+
+    def test_rebuild_only_after_drift(self, problem):
+        provider = PrunedCollisionPairs(
+            problem.frequencies, problem.resonator_index,
+            problem.config.detuning_threshold_ghz,
+            cutoff_mm=2.0, skin_mm=1.0)
+        pos = problem.initial_positions.copy()
+        provider.pairs(pos)
+        assert provider.rebuilds == 1
+        # Euclidean drift sqrt(2)*0.3 = 0.42 < skin/2: no rebuild.
+        provider.pairs(pos + 0.3)
+        assert provider.rebuilds == 1
+        provider.pairs(pos + 1.0)
+        assert provider.rebuilds == 2
+
+    def test_diagonal_drift_triggers_rebuild(self, problem):
+        # Per-axis drift of exactly skin/2 is a Euclidean drift of
+        # sqrt(2)*skin/2 — the containment bound requires a rebuild.
+        provider = PrunedCollisionPairs(
+            problem.frequencies, problem.resonator_index,
+            problem.config.detuning_threshold_ghz,
+            cutoff_mm=2.0, skin_mm=1.0)
+        pos = problem.initial_positions.copy()
+        provider.pairs(pos)
+        provider.pairs(pos + 0.5)
+        assert provider.rebuilds == 2
+
+    def test_dense_engine_on_sparse_built_problem_keeps_force(self):
+        # A problem built under the sparse backend carries no
+        # precomputed collision map; a dense-resolving placer must
+        # materialise it rather than silently running frequency-unaware.
+        from repro.core.engine import GlobalPlacer
+
+        sparse_cfg = PlacerConfig(interaction_backend="sparse",
+                                  max_iterations=12, min_iterations=2)
+        problem = build_problem(
+            build_netlist(get_topology("grid-25")), sparse_cfg)
+        assert problem.collision_pairs.size == 0
+        dense_cfg = PlacerConfig(interaction_backend="dense",
+                                 max_iterations=12, min_iterations=2)
+        engine = GlobalPlacer(problem, dense_cfg)
+        assert engine._dense_pairs.size > 0
+        result = engine.run()
+        assert result.peak_collision_pairs == engine._dense_pairs.shape[0]
+        assert any(h.frequency_energy > 0 for h in result.history)
+
+    def test_cutoff_prunes_far_pairs(self, problem):
+        provider = PrunedCollisionPairs(
+            problem.frequencies, problem.resonator_index,
+            problem.config.detuning_threshold_ghz,
+            cutoff_mm=0.5, skin_mm=0.25)
+        pos = problem.initial_positions
+        pairs, _ = provider.pairs(pos)
+        assert pairs.shape[0] < problem.collision_pairs.shape[0]
+        if pairs.size:
+            delta = pos[pairs[:, 0]] - pos[pairs[:, 1]]
+            dist = np.sqrt((delta * delta).sum(axis=1))
+            assert float(dist.max()) <= 0.75 + 1e-9

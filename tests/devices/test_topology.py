@@ -7,6 +7,7 @@ import pytest
 
 from repro.devices.topology import (
     PAPER_TOPOLOGY_ORDER,
+    SCALE_TOPOLOGY_ORDER,
     TOPOLOGY_LABELS,
     Topology,
     all_paper_topologies,
@@ -67,7 +68,8 @@ class TestPaperTopologies:
             assert 0.5 <= d <= upper, f"edge {(u, v)} drawn at distance {d}"
 
     def test_labels_cover_order(self):
-        assert set(TOPOLOGY_LABELS) == set(PAPER_TOPOLOGY_ORDER)
+        assert set(TOPOLOGY_LABELS) == (set(PAPER_TOPOLOGY_ORDER)
+                                        | set(SCALE_TOPOLOGY_ORDER))
 
     def test_all_paper_topologies_order(self):
         names = [t.name for t in all_paper_topologies()]
