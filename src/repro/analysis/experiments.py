@@ -165,7 +165,9 @@ def fidelity_experiment(suite: PlacementSuite,
                         num_mappings: int = constants.DEFAULT_NUM_MAPPINGS,
                         params: NoiseParams = NoiseParams(),
                         base_seed: int = 0,
-                        runner: Optional["ParallelRunner"] = None
+                        runner: Optional["ParallelRunner"] = None,
+                        shard_index: Optional[int] = None,
+                        shard_count: Optional[int] = None
                         ) -> Dict[str, Dict[str, float]]:
     """Average program fidelity per benchmark per strategy (Fig. 11).
 
@@ -174,7 +176,21 @@ def fidelity_experiment(suite: PlacementSuite,
     the ``runner``'s on-disk cache when one is configured (explicitly or
     via ``$REPRO_CACHE_DIR``), so re-running a fidelity study recomputes
     no routing.
+
+    Passing ``shard_index``/``shard_count`` restricts the run to the
+    deterministic ``benchmarks[shard_index::shard_count]`` slice — the
+    cross-machine contract of the ``workloads evaluate`` CLI: N
+    machines given the same benchmark list and distinct indices
+    partition it exactly, and merging their tables with
+    :func:`repro.workloads.merge_fidelity_shards` reproduces the
+    unsharded run bit for bit.
     """
+    if (shard_index is None) != (shard_count is None):
+        raise ValueError("shard_index and shard_count must be given together")
+    if shard_index is not None:
+        from ..workloads.sharding import shard_items
+
+        benchmarks = shard_items(tuple(benchmarks), shard_index, shard_count)
     violations = {
         name: ViolationTable.build(layout)
         for name, layout in suite.layouts.items()
@@ -193,6 +209,69 @@ def fidelity_experiment(suite: PlacementSuite,
             row[strategy] = max(total / len(mappings), FIDELITY_FLOOR)
         table[bench_name] = row
     return table
+
+
+def sharded_fidelity_experiment(
+        topology_name: str,
+        workloads: Sequence[str] | str = "paper-8",
+        shard_count: Optional[int] = None,
+        num_mappings: int = constants.DEFAULT_NUM_MAPPINGS,
+        base_seed: int = 0,
+        segment_size_mm: float = constants.DEFAULT_SEGMENT_SIZE_MM,
+        strategies: Sequence[str] = STRATEGIES,
+        config: Optional[PlacerConfig] = None,
+        runner: Optional["ParallelRunner"] = None
+        ) -> Dict[str, Dict[str, float]]:
+    """Fan a wide workload's fidelity study across the process pool.
+
+    The workload list (a suite name like ``"condor-433"`` or explicit
+    registry names) splits into ``shard_count`` round-robin
+    :class:`~repro.analysis.runner.WorkloadShardJob` units; each worker
+    rebuilds the placement suite from its description (one on-disk
+    cache hit per worker when the runner has a cache) and scores only
+    its slice.  The merged table is bit-identical to a single-process
+    :func:`fidelity_experiment` over the same list — sharding changes
+    wall-clock, never results.
+
+    Args:
+        topology_name: Registered topology to place and score.
+        workloads: Suite name or sequence of workload names.
+        shard_count: Number of shards; defaults to
+            ``min(len(workloads), runner.max_workers)``.
+        num_mappings: Mapping subsets per benchmark.
+        base_seed: First mapping-subset seed.
+        segment_size_mm: Resonator segment size for the placement.
+        strategies: Placement strategies to score.
+        config: Base placer configuration.
+        runner: Job runner (process pool + cache); default-constructed
+            when omitted.
+    """
+    from ..workloads import merge_fidelity_shards, resolve_workload_names
+    from .runner import (ParallelRunner, PlacementJob, WorkloadShardJob,
+                         run_workload_shard)
+
+    names = resolve_workload_names(workloads)
+    if not names:
+        return {}
+    if runner is None:
+        runner = ParallelRunner()
+    if shard_count is None:
+        shard_count = min(len(names), runner.max_workers)
+    shard_count = max(1, min(shard_count, len(names)))
+    placement = PlacementJob(topology=topology_name,
+                             segment_size_mm=segment_size_mm,
+                             strategies=tuple(strategies), config=config)
+    if runner.cache_dir is not None:
+        # Pre-place once so pool workers hit the cache instead of each
+        # redoing the (dominant) placement.
+        runner.run_suites([placement])
+    jobs = [WorkloadShardJob(placement=placement, workloads=names,
+                             shard_index=index, shard_count=shard_count,
+                             num_mappings=num_mappings, base_seed=base_seed)
+            for index in range(shard_count)]
+    partials = runner.map(run_workload_shard, jobs,
+                          namespace="workload_shard")
+    return merge_fidelity_shards(partials, order=names)
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import functools
 import hashlib
 import json
 import os
@@ -226,6 +227,69 @@ def run_mapping_job(job: MappingJob):
         get_benchmark(job.benchmark), get_topology(job.topology),
         num_mappings=job.num_mappings, base_seed=job.base_seed,
         router=job.router, optimization_level=job.optimization_level)
+
+
+@dataclass(frozen=True)
+class WorkloadShardJob:
+    """One shard of a wide-workload fidelity evaluation.
+
+    The sharding contract is positional and deterministic:
+    ``workloads[shard_index::shard_count]`` (see
+    :mod:`repro.workloads.sharding`), so a job is fully described by
+    the full workload list plus the two shard integers — the same
+    contract the ``workloads evaluate --shard-index/--shard-count`` CLI
+    exposes across machines.  Each worker rebuilds the placement suite
+    from the job description (an on-disk cache hit when the runner has
+    one) and scores only its own slice; merging every shard's partial
+    table is bit-identical to a single-process run over the full list.
+
+    Attributes:
+        placement: The placement unit whose layouts are scored.
+        workloads: Full ordered workload name list (canonical registry
+            names) — NOT pre-sliced; slicing happens in the worker.
+        shard_index: This shard's position, ``0 <= index < count``.
+        shard_count: Total number of shards.
+        num_mappings: Mapping subsets per benchmark.
+        base_seed: First mapping-subset seed.
+    """
+
+    placement: PlacementJob
+    workloads: Tuple[str, ...]
+    shard_index: int
+    shard_count: int
+    num_mappings: int = constants.DEFAULT_NUM_MAPPINGS
+    base_seed: int = 0
+
+
+@functools.lru_cache(maxsize=1)
+def _shard_suite(placement: PlacementJob):
+    """Process-local placement reuse across a worker's shard jobs.
+
+    Shards of one evaluation share the placement, so the worker loads
+    it through the runner's on-disk cache (``$REPRO_CACHE_DIR``, which
+    pool workers inherit from the parent runner) — one disk read per
+    worker when the parent pre-placed, one computation otherwise — and
+    memoizes the result so further shard jobs in this process reuse it
+    directly.  One entry is enough: shard batches score a single
+    placement.
+    """
+    return default_runner(max_workers=1).run_suites([placement])[0]
+
+
+def run_workload_shard(job: WorkloadShardJob):
+    """Worker: score one workload shard against its placement suite.
+
+    Returns the partial ``{benchmark: {strategy: fidelity}}`` table for
+    the shard's slice of the workload list.
+    """
+    from ..workloads.sharding import shard_items
+    from .experiments import fidelity_experiment
+
+    suite = _shard_suite(job.placement)
+    names = shard_items(job.workloads, job.shard_index, job.shard_count)
+    return fidelity_experiment(suite, benchmarks=names,
+                               num_mappings=job.num_mappings,
+                               base_seed=job.base_seed)
 
 
 @dataclass(frozen=True)

@@ -26,10 +26,12 @@ from .mapping import (
     route,
     sample_connected_subset,
 )
+from .batch import ArrayCircuit, transpile_batched
 from .sabre import route_sabre
 from .transpile import cancel_pairs, lower_to_basis, merge_rz, transpile
 
 __all__ = [
+    "ArrayCircuit",
     "BASIS_GATES",
     "Gate",
     "KNOWN_GATES",
@@ -56,4 +58,5 @@ __all__ = [
     "route_sabre",
     "sample_connected_subset",
     "transpile",
+    "transpile_batched",
 ]

@@ -1,0 +1,519 @@
+"""Batched transpilation: array-based circuits and vectorized passes.
+
+The legacy transpiler (:mod:`repro.circuits.transpile`) walks Python
+``Gate`` objects one at a time — fine for the paper's 16-qubit Table I
+circuits, but the dominant cost once condor-class workloads push routed
+circuits past 10^5 gates.  This module re-implements the same pipeline
+over *column arrays* (gate-code / qubit / parameter vectors):
+
+* :class:`ArrayCircuit` — a columnar circuit representation convertible
+  to and from :class:`~repro.circuits.circuit.QuantumCircuit`;
+* :func:`lower_to_basis_arrays` — one-shot template expansion of every
+  IR gate into its full basis decomposition (``np.repeat`` + table
+  lookup, no per-gate recursion);
+* :func:`merge_rz_arrays` — the rz-merging peephole as a grouped
+  segment reduction over per-qubit runs;
+* :func:`cancel_pairs_arrays` — the self-inverse cancellation pass as a
+  tight loop over plain integers (no ``Gate`` allocation);
+* :func:`transpile_batched` — drop-in equivalent of
+  :func:`repro.circuits.transpile.transpile`.
+
+Equivalence contract: for barrier-free circuits the batched pipeline
+produces the **same gate sequence** as the legacy one (pinned by
+``tests/properties/test_workload_props.py`` and
+``tests/circuits/test_batch.py``), so gate counts, depth, schedules and
+therefore every downstream fidelity number are bit-identical.  Circuits
+containing barriers fall back to the legacy path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+_TWO_PI = 2.0 * math.pi
+_HALF_PI = math.pi / 2
+
+# -- gate codes ----------------------------------------------------------------
+
+#: Integer codes of the array representation (basis gates first).
+RZ, SX, X, CZ, H, CX, RX, RY, RZZ, SWAP = range(10)
+
+#: Gate name -> integer code.
+CODE_OF: Dict[str, int] = {
+    "rz": RZ, "sx": SX, "x": X, "cz": CZ, "h": H,
+    "cx": CX, "rx": RX, "ry": RY, "rzz": RZZ, "swap": SWAP,
+}
+
+#: Integer code -> gate name.
+NAME_OF: Tuple[str, ...] = (
+    "rz", "sx", "x", "cz", "h", "cx", "rx", "ry", "rzz", "swap")
+
+#: Codes of gates that act on two qubits.
+TWO_QUBIT_CODES = frozenset({CZ, CX, RZZ, SWAP})
+
+#: Codes that carry one rotation parameter.
+PARAMETRIC_CODES = frozenset({RZ, RX, RY, RZZ})
+
+
+@dataclass
+class ArrayCircuit:
+    """A circuit as parallel column arrays.
+
+    Attributes:
+        num_qubits: Number of wires.
+        codes: Gate code per gate (:data:`CODE_OF` values), int64.
+        q0: First qubit index per gate, int64.
+        q1: Second qubit index per gate (``-1`` for one-qubit gates).
+        params: Rotation angle per gate (``0.0`` for non-parametric).
+        name: Circuit name carried through the passes.
+    """
+
+    num_qubits: int
+    codes: np.ndarray
+    q0: np.ndarray
+    q1: np.ndarray
+    params: np.ndarray
+    name: str = "circuit"
+
+    @property
+    def size(self) -> int:
+        """Total gate count."""
+        return int(self.codes.shape[0])
+
+    @classmethod
+    def empty(cls, num_qubits: int, name: str = "circuit") -> "ArrayCircuit":
+        """A zero-gate circuit (useful as an accumulator seed)."""
+        return cls(num_qubits=num_qubits,
+                   codes=np.empty(0, dtype=np.int64),
+                   q0=np.empty(0, dtype=np.int64),
+                   q1=np.empty(0, dtype=np.int64),
+                   params=np.empty(0, dtype=np.float64),
+                   name=name)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "ArrayCircuit":
+        """Encode a ``QuantumCircuit``.
+
+        Raises:
+            ValueError: if the circuit contains barriers (the columnar
+                layout has no multi-qubit rows; callers fall back to
+                the legacy pipeline).
+        """
+        n = len(circuit.gates)
+        codes = np.empty(n, dtype=np.int64)
+        q0 = np.empty(n, dtype=np.int64)
+        q1 = np.full(n, -1, dtype=np.int64)
+        params = np.zeros(n, dtype=np.float64)
+        for i, gate in enumerate(circuit.gates):
+            code = CODE_OF.get(gate.name)
+            if code is None:
+                raise ValueError(
+                    f"gate {gate.name!r} not supported by the batched "
+                    f"engine (barriers fall back to the legacy path)")
+            codes[i] = code
+            q0[i] = gate.qubits[0]
+            if len(gate.qubits) == 2:
+                q1[i] = gate.qubits[1]
+            if gate.params:
+                params[i] = gate.params[0]
+        return cls(num_qubits=circuit.num_qubits, codes=codes, q0=q0, q1=q1,
+                   params=params, name=circuit.name)
+
+    def to_circuit(self) -> QuantumCircuit:
+        """Decode back to a ``QuantumCircuit``.
+
+        Rows are deduplicated first (sort-based ``np.unique``), so one
+        ``Gate`` is allocated per distinct (code, qubits, param) triple
+        and the gate list is assembled by index lookup — basis circuits
+        repeat a small vocabulary of rotations over a bounded qubit
+        set.  The assembly bypasses ``QuantumCircuit.append``
+        validation: every row came from an already-validated gate.
+        """
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        n = self.size
+        if n == 0:
+            return out
+        # Collision-free packed key: 4 bits of code, 21 bits per qubit
+        # index (quantum devices stay far below 2^21 qubits), with the
+        # param bits as a lexsort tie-breaker.
+        packed = (self.codes << 42) | ((self.q0 + 1) << 21) | (self.q1 + 1)
+        param_bits = self.params.view(np.int64)
+        order = np.lexsort((param_bits, packed))
+        packed_sorted = packed[order]
+        param_sorted = param_bits[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = ((packed_sorted[1:] != packed_sorted[:-1])
+                     | (param_sorted[1:] != param_sorted[:-1]))
+        uid = np.empty(n, dtype=np.int64)
+        uid[order] = np.cumsum(first) - 1
+        representatives = order[first]
+        vocabulary = []
+        for i in representatives.tolist():
+            code = int(self.codes[i])
+            a, b = int(self.q0[i]), int(self.q1[i])
+            qubits = (a,) if b < 0 else (a, b)
+            gate_params = ((float(self.params[i]),)
+                          if code in PARAMETRIC_CODES else ())
+            vocabulary.append(Gate(NAME_OF[code], qubits, gate_params))
+        out.gates = [vocabulary[k] for k in uid.tolist()]
+        return out
+
+
+# -- lowering templates --------------------------------------------------------
+#
+# Each IR gate expands into a fixed sequence of basis gates; the tables
+# below flatten the recursive decompositions of transpile._lower_gate in
+# depth-first order, so template expansion reproduces the legacy stack
+# walk gate for gate.  A template entry is
+# (code, q0_slot, q1_slot, param_mult, param_const):
+# output qubit = source gate's qubit at the slot (slot -1 = absent) and
+# output param = param_mult * source_param + param_const.
+
+_Entry = Tuple[int, int, int, float, float]
+
+_H_TMPL: List[_Entry] = [
+    (RZ, 0, -1, 0.0, _HALF_PI), (SX, 0, -1, 0.0, 0.0),
+    (RZ, 0, -1, 0.0, _HALF_PI),
+]
+#: rx(t) -> h rz(t) h
+_RX_TMPL: List[_Entry] = (
+    _H_TMPL + [(RZ, 0, -1, 1.0, 0.0)] + _H_TMPL)
+#: ry(t) -> rz(-pi/2) rx(t) rz(pi/2)
+_RY_TMPL: List[_Entry] = (
+    [(RZ, 0, -1, 0.0, -_HALF_PI)] + _RX_TMPL + [(RZ, 0, -1, 0.0, _HALF_PI)])
+
+
+def _on_slot(template: List[_Entry], a_slot: int, b_slot: int) -> List[_Entry]:
+    """Re-target a template's qubit slots (for cx/swap orientation)."""
+    remap = {0: a_slot, 1: b_slot, -1: -1}
+    return [(code, remap[qa], remap[qb], mult, const)
+            for code, qa, qb, mult, const in template]
+
+
+#: cx(c=slot0, t=slot1) -> h(t) cz(c,t) h(t)
+_CX_TMPL: List[_Entry] = (
+    _on_slot(_H_TMPL, 1, -1) + [(CZ, 0, 1, 0.0, 0.0)]
+    + _on_slot(_H_TMPL, 1, -1))
+#: rzz(a,b,t) -> cx(a,b) rz(b,t) cx(a,b)
+_RZZ_TMPL: List[_Entry] = (
+    _CX_TMPL + [(RZ, 1, -1, 1.0, 0.0)] + _CX_TMPL)
+#: swap(a,b) -> cx(a,b) cx(b,a) cx(a,b)
+_SWAP_TMPL: List[_Entry] = (
+    _CX_TMPL + _on_slot(_CX_TMPL, 1, 0) + _CX_TMPL)
+
+_TEMPLATES: Dict[int, List[_Entry]] = {
+    RZ: [(RZ, 0, -1, 1.0, 0.0)],
+    SX: [(SX, 0, -1, 0.0, 0.0)],
+    X: [(X, 0, -1, 0.0, 0.0)],
+    CZ: [(CZ, 0, 1, 0.0, 0.0)],
+    H: _H_TMPL,
+    CX: _CX_TMPL,
+    RX: _RX_TMPL,
+    RY: _RY_TMPL,
+    RZZ: _RZZ_TMPL,
+    SWAP: _SWAP_TMPL,
+}
+
+_MAX_TMPL = max(len(t) for t in _TEMPLATES.values())
+_T_LEN = np.zeros(len(_TEMPLATES), dtype=np.int64)
+_T_CODE = np.zeros((len(_TEMPLATES), _MAX_TMPL), dtype=np.int64)
+_T_ASLOT = np.zeros((len(_TEMPLATES), _MAX_TMPL), dtype=np.int64)
+_T_BSLOT = np.full((len(_TEMPLATES), _MAX_TMPL), -1, dtype=np.int64)
+_T_MULT = np.zeros((len(_TEMPLATES), _MAX_TMPL), dtype=np.float64)
+_T_CONST = np.zeros((len(_TEMPLATES), _MAX_TMPL), dtype=np.float64)
+for _code, _tmpl in _TEMPLATES.items():
+    _T_LEN[_code] = len(_tmpl)
+    for _k, (_c, _qa, _qb, _mult, _const) in enumerate(_tmpl):
+        _T_CODE[_code, _k] = _c
+        _T_ASLOT[_code, _k] = _qa
+        _T_BSLOT[_code, _k] = _qb
+        _T_MULT[_code, _k] = _mult
+        _T_CONST[_code, _k] = _const
+
+
+def lower_to_basis_arrays(circuit: ArrayCircuit) -> ArrayCircuit:
+    """Expand every gate to the native basis in one vectorized pass."""
+    codes = circuit.codes
+    lengths = _T_LEN[codes]
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    total = int(offsets[-1])
+    src = np.repeat(np.arange(codes.shape[0]), lengths)
+    slot = np.arange(total) - offsets[src]
+    src_code = codes[src]
+    out_codes = _T_CODE[src_code, slot]
+    a_slot = _T_ASLOT[src_code, slot]
+    b_slot = _T_BSLOT[src_code, slot]
+    src_q0 = circuit.q0[src]
+    src_q1 = circuit.q1[src]
+    out_q0 = np.where(a_slot == 0, src_q0, src_q1)
+    out_q1 = np.where(b_slot < 0, -1,
+                      np.where(b_slot == 0, src_q0, src_q1))
+    out_params = (_T_MULT[src_code, slot] * circuit.params[src]
+                  + _T_CONST[src_code, slot])
+    return ArrayCircuit(num_qubits=circuit.num_qubits, codes=out_codes,
+                        q0=out_q0, q1=out_q1, params=out_params,
+                        name=circuit.name)
+
+
+# -- rz merging ---------------------------------------------------------------
+
+def _stream_incidence(circuit: ArrayCircuit
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-qubit gate streams as a sorted incidence list.
+
+    One row per (gate, qubit) touch, sorted by (qubit, gate index):
+    consecutive rows with equal qubit are stream-adjacent gates.
+    Returns ``(gate_index, qubit, slot)`` columns, where slot is the
+    qubit's position in the gate's qubit tuple (0 or 1).
+    """
+    n = circuit.codes.shape[0]
+    second = np.nonzero(circuit.q1 >= 0)[0]
+    inc_gate = np.concatenate((np.arange(n), second))
+    inc_qubit = np.concatenate((circuit.q0, circuit.q1[second]))
+    inc_slot = np.concatenate((np.zeros(n, dtype=np.int64),
+                               np.ones(second.shape[0], dtype=np.int64)))
+    order = np.lexsort((inc_gate, inc_qubit))
+    return inc_gate[order], inc_qubit[order], inc_slot[order]
+
+
+def merge_rz_arrays(circuit: ArrayCircuit) -> ArrayCircuit:
+    """Merge consecutive per-qubit rz rotations; drop angles = 0 (mod 2pi).
+
+    Vectorized restatement of :func:`repro.circuits.transpile.merge_rz`:
+    every rz belongs to the group flushed by the next non-rz gate that
+    touches its qubit (or the end of the circuit).  Groups are
+    contiguous runs of the qubit-sorted incidence list, and the angle
+    sums fold left-to-right exactly like the legacy accumulation, so
+    the float results are bit-identical.
+    """
+    codes = circuit.codes
+    n = codes.shape[0]
+    if n == 0:
+        return circuit
+    rz_mask = codes == RZ
+
+    g, qb, sl = _stream_incidence(circuit)
+    flush = ~rz_mask[g]
+    m = g.shape[0]
+
+    seg_start = np.empty(m, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = qb[1:] != qb[:-1]
+    seg_id = np.cumsum(seg_start) - 1
+
+    # Position (in incidence order) of the next flush at-or-after each
+    # entry within its qubit segment: a reversed running minimum with
+    # per-segment reset via monotone offsets.
+    key = np.where(flush, np.arange(m), m)
+    big = m + 1
+    adjusted = key[::-1] + seg_id[::-1] * big
+    nxt = (np.minimum.accumulate(adjusted) - seg_id[::-1] * big)[::-1]
+
+    rz_pos = np.nonzero(~flush)[0]
+    if rz_pos.shape[0]:
+        trigger = nxt[rz_pos]                      # >= m means end flush
+        ended = trigger >= m
+        group_key = np.where(ended, m + seg_id[rz_pos], trigger)
+        starts_mask = np.empty(rz_pos.shape[0], dtype=bool)
+        starts_mask[0] = True
+        starts_mask[1:] = group_key[1:] != group_key[:-1]
+        starts = np.nonzero(starts_mask)[0]
+        # Per-group left-to-right fold (NOT reduceat: pairwise summation
+        # would round differently than the legacy accumulation).  One
+        # vector step per in-group position keeps it exact and fast.
+        rz_params = circuit.params[g[rz_pos]]
+        lens = np.diff(np.append(starts, rz_pos.shape[0]))
+        sums = rz_params[starts].copy()
+        for step in range(1, int(lens.max())):
+            sel = lens > step
+            sums[sel] = sums[sel] + rz_params[starts[sel] + step]
+        angles = np.array([math.remainder(v, _TWO_PI) for v in sums.tolist()],
+                          dtype=np.float64)
+        keep = np.abs(angles) > 1e-12
+        grp_first = rz_pos[starts]
+        grp_qubit = qb[grp_first][keep]
+        grp_trigger = trigger[starts][keep]
+        grp_angle = angles[keep]
+        grp_end = grp_trigger >= m
+        # Sort keys: before trigger gate (j, slot); end flushes after
+        # every gate (primary n), ordered by qubit.
+        rz_primary = np.where(grp_end, n, g[np.minimum(grp_trigger, m - 1)])
+        rz_secondary = np.where(grp_end, grp_qubit,
+                                sl[np.minimum(grp_trigger, m - 1)])
+    else:
+        grp_qubit = np.empty(0, dtype=np.int64)
+        grp_angle = np.empty(0, dtype=np.float64)
+        rz_primary = np.empty(0, dtype=np.int64)
+        rz_secondary = np.empty(0, dtype=np.int64)
+
+    keep_gates = np.nonzero(~rz_mask)[0]
+    primary = np.concatenate((keep_gates, rz_primary))
+    secondary = np.concatenate((np.full(keep_gates.shape[0], 2,
+                                        dtype=np.int64), rz_secondary))
+    out_codes = np.concatenate((codes[keep_gates],
+                                np.full(grp_qubit.shape[0], RZ,
+                                        dtype=np.int64)))
+    out_q0 = np.concatenate((circuit.q0[keep_gates], grp_qubit))
+    out_q1 = np.concatenate((circuit.q1[keep_gates],
+                             np.full(grp_qubit.shape[0], -1,
+                                     dtype=np.int64)))
+    out_params = np.concatenate((circuit.params[keep_gates], grp_angle))
+    final = np.lexsort((secondary, primary))
+    return ArrayCircuit(num_qubits=circuit.num_qubits,
+                        codes=out_codes[final], q0=out_q0[final],
+                        q1=out_q1[final], params=out_params[final],
+                        name=circuit.name)
+
+
+# -- pair cancellation ---------------------------------------------------------
+
+def _has_cancel_candidates(circuit: ArrayCircuit) -> bool:
+    """Necessary condition for ``cancel_pairs`` to change anything.
+
+    A cancellation (or sx.sx fusion) first requires two gates of the
+    same cancellable name adjacent in some qubit's gate stream, with
+    identical qubit tuples for cz.  The check is conservative: a hit
+    only means the sequential pass must run, not that it will shrink.
+    """
+    codes = circuit.codes
+    if codes.shape[0] < 2:
+        return False
+    g, qb, _ = _stream_incidence(circuit)
+    same_stream = qb[1:] == qb[:-1]
+    a = g[:-1]
+    b = g[1:]
+    ca = codes[a]
+    cb = codes[b]
+    one_qubit = same_stream & ((ca == X) | (ca == SX)) & (cb == ca)
+    if one_qubit.any():
+        return True
+    cz_pair = (same_stream & (ca == CZ) & (cb == CZ)
+               & (circuit.q0[a] == circuit.q0[b])
+               & (circuit.q1[a] == circuit.q1[b]))
+    return bool(cz_pair.any())
+
+
+def cancel_pairs_arrays(circuit: ArrayCircuit) -> ArrayCircuit:
+    """Cancel adjacent self-inverse pairs and fuse sx.sx -> x.
+
+    Direct port of :func:`repro.circuits.transpile.cancel_pairs` onto
+    plain integer lists — the pass is inherently sequential (each
+    cancellation changes what the next gate sees), but dict lookups over
+    small ints beat ``Gate`` allocation by an order of magnitude.  A
+    vectorized precheck skips the loop outright when no gate pair is
+    even a candidate: every cancellation cascade starts from two
+    same-name gates adjacent in a qubit stream, so absence of that
+    pattern proves the pass is the identity.
+    """
+    if not _has_cancel_candidates(circuit):
+        return circuit
+    codes = circuit.codes.tolist()
+    q0 = circuit.q0.tolist()
+    q1 = circuit.q1.tolist()
+    params = circuit.params.tolist()
+    out_c: List[int] = []
+    out_a: List[int] = []
+    out_b: List[int] = []
+    out_p: List[float] = []
+    last: Dict[int, int] = {}
+
+    for i in range(len(codes)):
+        code = codes[i]
+        a = q0[i]
+        if code == SX or code == X:
+            prev = last.get(a)
+            if prev is not None and out_c[prev] == code and out_a[prev] == a:
+                if code == SX:
+                    out_c[prev] = X
+                else:
+                    out_c[prev] = -1
+                    del last[a]
+                continue
+        elif code == CZ:
+            b = q1[i]
+            prev = last.get(a)
+            if (prev is not None and out_c[prev] == CZ
+                    and out_a[prev] == a and out_b[prev] == b
+                    and last.get(b) == prev):
+                out_c[prev] = -1
+                del last[a]
+                del last[b]
+                continue
+        out_c.append(code)
+        out_a.append(a)
+        b = q1[i]
+        out_b.append(b)
+        out_p.append(params[i])
+        idx = len(out_c) - 1
+        last[a] = idx
+        if b >= 0:
+            last[b] = idx
+
+    arr_c = np.array(out_c, dtype=np.int64)
+    alive = arr_c >= 0
+    return ArrayCircuit(num_qubits=circuit.num_qubits,
+                        codes=arr_c[alive],
+                        q0=np.array(out_a, dtype=np.int64)[alive],
+                        q1=np.array(out_b, dtype=np.int64)[alive],
+                        params=np.array(out_p, dtype=np.float64)[alive],
+                        name=circuit.name)
+
+
+# -- pipeline ------------------------------------------------------------------
+
+def transpile_arrays(circuit: ArrayCircuit, optimization_level: int = 3,
+                     max_passes: int = 8) -> ArrayCircuit:
+    """The legacy transpile pipeline over array circuits.
+
+    Output-identical to the legacy pass sequence, with one shortcut:
+    both passes only ever shrink the gate list (cancellation removes
+    two gates, fusion one, merging at least one), so a size-unchanged
+    ``cancel_pairs`` is exactly the identity — and ``merge_rz`` is
+    idempotent — which lets provably no-op passes be skipped.
+    """
+    if optimization_level not in (0, 1, 2, 3):
+        raise ValueError("optimization_level must be 0..3")
+    out = lower_to_basis_arrays(circuit)
+    if optimization_level == 0:
+        return out
+    out = merge_rz_arrays(out)
+    if optimization_level == 1:
+        return out
+    cancelled = cancel_pairs_arrays(out)
+    changed = cancelled.size != out.size
+    if changed:
+        out = merge_rz_arrays(cancelled)
+    if optimization_level == 2 or not changed:
+        return out
+    for _ in range(max_passes):
+        cancelled = cancel_pairs_arrays(out)
+        if cancelled.size == out.size:
+            break
+        out = merge_rz_arrays(cancelled)
+    return out
+
+
+def transpile_batched(circuit: QuantumCircuit, optimization_level: int = 3,
+                      max_passes: int = 8) -> QuantumCircuit:
+    """Batched drop-in for :func:`repro.circuits.transpile.transpile`.
+
+    Produces the identical gate sequence on barrier-free circuits;
+    circuits with barriers (or future gates outside the array codes)
+    delegate to the legacy implementation.
+    """
+    try:
+        arrays = ArrayCircuit.from_circuit(circuit)
+    except ValueError:
+        from .transpile import transpile
+        return transpile(circuit, optimization_level=optimization_level,
+                         max_passes=max_passes)
+    return transpile_arrays(arrays, optimization_level=optimization_level,
+                            max_passes=max_passes).to_circuit()

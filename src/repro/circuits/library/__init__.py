@@ -1,7 +1,9 @@
 """NISQ benchmark circuits (Table I of the paper).
 
 Benchmarks: ``bv-{4,9,16}``, ``qaoa-{4,9}``, ``ising-4``, ``qgan-{4,9}``.
-:func:`get_benchmark` resolves the paper's benchmark names.
+:func:`get_benchmark` resolves the paper's benchmark names, validates
+per-family width bounds, and falls through to the scalable workload
+registry (:mod:`repro.workloads`) for every other registered name.
 """
 
 from __future__ import annotations
@@ -26,23 +28,49 @@ _FAMILIES: Dict[str, Callable[[int], QuantumCircuit]] = {
     "qgan": qgan,
 }
 
+#: Smallest valid width per Table I family, checked up front so bad
+#: requests fail with a clear message instead of a generator-internal
+#: error (kept in sync with the workloads registry by
+#: ``tests/workloads/test_registry.py``).
+FAMILY_MIN_WIDTHS: Dict[str, int] = {
+    "bv": 2, "qaoa": 2, "ising": 2, "qgan": 2,
+}
+
 
 def get_benchmark(name: str) -> QuantumCircuit:
-    """Build a benchmark circuit from a ``family-width`` name.
+    """Build a benchmark circuit from a registry name.
+
+    Resolves the paper's ``family-width`` names directly and delegates
+    every other shape — the scalable families (``ghz``, ``qft``,
+    ``clifford``, ``qv``, ``hhqaoa``) and the extended
+    ``family-width-d<depth>-s<seed>`` spellings — to the workload
+    registry (:mod:`repro.workloads`), so every evaluation pipeline
+    accepts the full workload namespace.
 
     Examples:
         >>> get_benchmark("bv-4").num_qubits
         4
+        >>> get_benchmark("ghz-64").num_qubits
+        64
     """
-    try:
-        family, width_text = name.rsplit("-", 1)
-        width = int(width_text)
-    except ValueError:
-        raise ValueError(f"benchmark name must look like 'bv-4', got {name!r}") from None
-    if family not in _FAMILIES:
-        known = ", ".join(sorted(_FAMILIES))
-        raise ValueError(f"unknown benchmark family {family!r}; known: {known}")
-    return _FAMILIES[family](width)
+    parts = name.rsplit("-", 1)
+    if len(parts) == 2 and parts[0] in _FAMILIES:
+        family, width_text = parts
+        try:
+            width = int(width_text)
+        except ValueError:
+            raise ValueError(
+                f"benchmark name must look like 'bv-4', got {name!r}"
+            ) from None
+        minimum = FAMILY_MIN_WIDTHS[family]
+        if width < minimum:
+            raise ValueError(
+                f"benchmark {name!r}: family {family!r} requires width >= "
+                f"{minimum}, got {width}")
+        return _FAMILIES[family](width)
+    from ...workloads.registry import get_workload
+
+    return get_workload(name)
 
 
 def all_paper_benchmarks() -> List[QuantumCircuit]:

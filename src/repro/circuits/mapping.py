@@ -10,8 +10,9 @@ every placement strategy.  This module reproduces that protocol:
    keeping strongly interacting logical pairs physically close;
 3. :func:`route` inserts SWAPs along shortest coupler paths until every
    two-qubit gate is executable;
-4. the result is lowered to the native basis by
-   :mod:`repro.circuits.transpile` and scheduled ASAP.
+4. the result is lowered to the native basis by the batched engine
+   (:mod:`repro.circuits.batch`, gate-for-gate identical to
+   :mod:`repro.circuits.transpile`) and scheduled ASAP.
 """
 
 from __future__ import annotations
@@ -24,9 +25,9 @@ import networkx as nx
 import numpy as np
 
 from ..devices.topology import Topology
+from .batch import transpile_batched
 from .circuit import QuantumCircuit, Schedule
 from .gates import Gate
-from .transpile import transpile
 
 Edge = Tuple[int, int]
 
@@ -234,13 +235,20 @@ def map_circuit(circuit: QuantumCircuit, topology: Topology,
     mapping = initial_placement(circuit, topology, subset)
     if router == "basic":
         routed, final_mapping, swap_count = route(circuit, topology, mapping)
+        physical = transpile_batched(routed,
+                                     optimization_level=optimization_level)
     elif router == "sabre":
-        from .sabre import route_sabre
-        routed, final_mapping, swap_count = route_sabre(
+        # Stay in column arrays from routing through transpilation; the
+        # single decode at the end is the only per-gate Python loop.
+        from .batch import transpile_arrays
+        from .sabre import route_sabre_arrays
+        routed_arrays, final_mapping, swap_count = route_sabre_arrays(
             circuit, topology, mapping)
+        physical = transpile_arrays(
+            routed_arrays,
+            optimization_level=optimization_level).to_circuit()
     else:
         raise ValueError(f"unknown router {router!r}; use 'basic' or 'sabre'")
-    physical = transpile(routed, optimization_level=optimization_level)
     return MappedCircuit(
         physical_circuit=physical,
         topology=topology,

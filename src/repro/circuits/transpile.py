@@ -5,6 +5,11 @@ IR gate to the fixed-frequency transmon basis, then run cheap peephole
 passes (virtual-Z merging, self-inverse cancellation) to reduce depth and
 gate count before the fidelity model sees the circuit.
 
+This is the seed per-gate implementation; the mapping pipeline runs the
+batched array engine (:mod:`repro.circuits.batch`), which reproduces
+this module's output gate for gate and serves as its executable
+specification in the equivalence tests.
+
 Decompositions (all exact up to global phase):
 
 * ``h``        -> ``rz(pi/2) sx rz(pi/2)``

@@ -11,6 +11,12 @@ Commands:
 * ``ablation``  — design-choice ablation table
 * ``physics``   — the Fig. 4/5/6 physics curves and TM110 table
 * ``topologies`` — list the registered device topologies
+* ``workloads list``  — workload families and named suites
+* ``workloads build`` — build workload circuits, print their stats
+* ``workloads evaluate`` — sharded fidelity study over a workload
+  suite (``--shard-index/--shard-count`` is the cross-machine
+  contract; omit the index to fan every shard over the local pool)
+* ``workloads merge`` — merge per-shard JSON results
 """
 
 from __future__ import annotations
@@ -233,6 +239,168 @@ def cmd_physics(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workloads_list(_args: argparse.Namespace) -> int:
+    from .workloads import SUITES, WORKLOAD_FAMILIES
+
+    rows = []
+    for name in sorted(WORKLOAD_FAMILIES):
+        family = WORKLOAD_FAMILIES[name]
+        rows.append([name, family.min_width,
+                     "yes" if family.supports_depth else "-",
+                     "yes" if family.randomized else "-",
+                     family.description])
+    print(format_table(
+        ["family", "min width", "depth", "seeded", "description"], rows,
+        title="Workload families"))
+    print()
+    rows = [[name, " ".join(spec.name for spec in specs)]
+            for name, specs in SUITES.items()]
+    print(format_table(["suite", "workloads"], rows, title="Named suites"))
+    return 0
+
+
+def cmd_workloads_build(args: argparse.Namespace) -> int:
+    import time
+
+    from .circuits.batch import transpile_batched
+    from .workloads import resolve_workload_names, get_workload
+
+    names = []
+    for item in args.names:
+        names.extend(resolve_workload_names(item))
+    headers = ["workload", "qubits", "gates", "2q gates", "depth"]
+    if args.transpile:
+        headers += ["basis gates", "basis depth", "transpile (s)"]
+    rows = []
+    for name in names:
+        circuit = get_workload(name)
+        row = [name, circuit.num_qubits, circuit.size,
+               circuit.two_qubit_gate_count, circuit.depth()]
+        if args.transpile:
+            start = time.perf_counter()
+            basis = transpile_batched(circuit)
+            elapsed = time.perf_counter() - start
+            row += [basis.size, basis.depth(), f"{elapsed:.3f}"]
+        rows.append(row)
+    print(format_table(headers, rows, title="Workload circuits"))
+    return 0
+
+
+#: Shard-payload keys that must agree across every shard of a merge —
+#: the full placement + protocol context, so shards produced with
+#: different settings cannot silently combine into a table that matches
+#: no single-process run.
+SHARD_CONTEXT_KEYS = (
+    "topology", "workloads", "shard_count", "num_mappings", "base_seed",
+    "strategies", "placement_seed", "segment_size_mm",
+    "interaction_backend",
+)
+
+
+def _shard_payload(args: argparse.Namespace, names: tuple,
+                   fidelity: dict) -> dict:
+    return {
+        "kind": "workload-shard",
+        "topology": args.topology,
+        "workloads": list(names),
+        "shard_index": args.shard_index,
+        "shard_count": args.shard_count,
+        "num_mappings": args.mappings,
+        "base_seed": args.base_seed,
+        "strategies": args.strategies.split(","),
+        "placement_seed": args.seed,
+        "segment_size_mm": args.segment_size,
+        "interaction_backend": args.interaction_backend,
+        "fidelity": fidelity,
+    }
+
+
+def cmd_workloads_evaluate(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.experiments import sharded_fidelity_experiment
+    from .workloads import resolve_workload_names
+
+    names = resolve_workload_names(args.suite or
+                                   tuple(args.workloads.split(",")))
+    strategies = tuple(args.strategies.split(","))
+    config = _config_from(args)
+    runner = _runner_from(args)
+    if args.shard_index is not None:
+        if args.shard_count is None:
+            raise SystemExit("--shard-index requires --shard-count")
+        if not 0 <= args.shard_index < args.shard_count:
+            # Catch the off-by-one before the (condor-scale) placement.
+            raise SystemExit(
+                f"--shard-index must be in 0..{args.shard_count - 1}, "
+                f"got {args.shard_index}")
+        suite = build_suite(args.topology,
+                            segment_size_mm=args.segment_size,
+                            strategies=strategies, config=config)
+        fidelity = fidelity_experiment(
+            suite, benchmarks=names, num_mappings=args.mappings,
+            base_seed=args.base_seed, runner=runner,
+            shard_index=args.shard_index, shard_count=args.shard_count)
+        payload = _shard_payload(args, names, fidelity)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"wrote shard {args.shard_index}/{args.shard_count} "
+                  f"({len(fidelity)} benchmarks) to {args.json}")
+        else:
+            print(json.dumps(payload, indent=2))
+        return 0
+    fidelity = sharded_fidelity_experiment(
+        args.topology, workloads=names, shard_count=args.shard_count,
+        num_mappings=args.mappings, base_seed=args.base_seed,
+        segment_size_mm=args.segment_size, strategies=strategies,
+        config=config, runner=runner)
+    print(fidelity_table(fidelity, args.topology))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"topology": args.topology, "workloads": list(names),
+                       "fidelity": fidelity}, fh, indent=2)
+        print(f"wrote {args.json}")
+    if runner.cache_dir is not None:
+        print(f"cache: {runner.cache_hits} hits, {runner.cache_misses} "
+              f"misses under {runner.cache_dir}")
+    return 0
+
+
+def cmd_workloads_merge(args: argparse.Namespace) -> int:
+    import json
+
+    from .workloads import merge_fidelity_shards
+
+    shards = []
+    for path in args.shards:
+        with open(path) as fh:
+            shards.append(json.load(fh))
+    first = shards[0]
+    for shard in shards[1:]:
+        for key in SHARD_CONTEXT_KEYS:
+            if shard.get(key) != first.get(key):
+                raise SystemExit(
+                    f"shard files disagree on {key!r}: "
+                    f"{shard.get(key)!r} vs {first.get(key)!r}")
+    indices = [shard.get("shard_index") for shard in shards]
+    if len(set(indices)) != len(indices):
+        raise SystemExit(f"duplicate shard indices: {sorted(indices)}")
+    missing = set(range(first.get("shard_count", 0))) - set(indices)
+    if missing:
+        raise SystemExit(f"missing shard indices: {sorted(missing)}")
+    merged = merge_fidelity_shards([s["fidelity"] for s in shards],
+                                   order=first["workloads"])
+    print(fidelity_table(merged, first["topology"]))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"topology": first["topology"],
+                       "workloads": first["workloads"],
+                       "fidelity": merged}, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -290,6 +458,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("physics", help="Fig. 4/5/6 physics tables")
     p.set_defaults(func=cmd_physics)
+
+    p = sub.add_parser("workloads",
+                       help="scalable workload registry and sharded "
+                            "fidelity evaluation")
+    wsub = p.add_subparsers(dest="workloads_command", required=True)
+
+    w = wsub.add_parser("list", help="workload families and named suites")
+    w.set_defaults(func=cmd_workloads_list)
+
+    w = wsub.add_parser("build",
+                        help="build workload circuits and print stats")
+    w.add_argument("names", nargs="+",
+                   help="workload names (e.g. qaoa-433, qv-128-d6) or "
+                        "suite names (e.g. condor-433)")
+    w.add_argument("--transpile", action="store_true",
+                   help="also transpile to the native basis (batched "
+                        "engine) and report basis gate counts + time")
+    w.set_defaults(func=cmd_workloads_build)
+
+    w = wsub.add_parser("evaluate",
+                        help="(sharded) fidelity study over a workload "
+                             "suite")
+    w.add_argument("--topology", required=True,
+                   help="topology name, e.g. condor-sm-433")
+    group = w.add_mutually_exclusive_group(required=True)
+    group.add_argument("--suite", help="named suite, e.g. condor-433")
+    group.add_argument("--workloads",
+                       help="comma-separated workload names")
+    w.add_argument("--mappings", type=int, default=12,
+                   help="mapping subsets per benchmark (paper: 50)")
+    w.add_argument("--base-seed", type=int, default=0,
+                   help="first mapping-subset seed (default 0)")
+    w.add_argument("--segment-size", type=float,
+                   default=constants.DEFAULT_SEGMENT_SIZE_MM)
+    w.add_argument("--seed", type=int, default=0,
+                   help="placement seed (default 0)")
+    w.add_argument("--strategies", default="qplacer,classic,human",
+                   help="comma-separated strategies to score")
+    w.add_argument("--shard-index", type=int, default=None,
+                   help="run only this shard (cross-machine contract; "
+                        "write the partial result with --json and "
+                        "combine with 'workloads merge')")
+    w.add_argument("--shard-count", type=int, default=None,
+                   help="total shards (with --shard-index: the "
+                        "cross-machine split; alone: local pool fan-out)")
+    w.add_argument("--json", help="write results to this JSON path")
+    _add_backend_arg(w)
+    _add_runner_args(w)
+    w.set_defaults(func=cmd_workloads_evaluate)
+
+    w = wsub.add_parser("merge",
+                        help="merge per-shard JSON results into one table")
+    w.add_argument("shards", nargs="+", help="shard JSON files")
+    w.add_argument("--json", help="write the merged table to this path")
+    w.set_defaults(func=cmd_workloads_merge)
     return parser
 
 

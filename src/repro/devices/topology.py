@@ -168,6 +168,28 @@ class Topology:
             self.__dict__["_hop_distances"] = cached
         return cached
 
+    def hop_distance_matrix(self) -> "np.ndarray":
+        """Cached dense all-pairs hop distances as an int64 matrix.
+
+        The batched SABRE kernel scores every candidate SWAP with numpy
+        gathers, which needs random access to arbitrary ``(src, dst)``
+        hop distances — a dense matrix, unlike the per-source rows of
+        :meth:`hop_distances`.  Computed once per topology via scipy's
+        C breadth-first search (condor-1121: ~1.3 M entries, 10 MB).
+        Do not mutate the returned array.
+        """
+        cached = self.__dict__.get("_hop_distance_matrix")
+        if cached is None:
+            import numpy as np
+            from scipy.sparse.csgraph import shortest_path
+
+            adjacency = nx.to_scipy_sparse_array(
+                self.graph, nodelist=range(self.num_qubits), format="csr")
+            cached = shortest_path(adjacency, method="D",
+                                   unweighted=True).astype(np.int64)
+            self.__dict__["_hop_distance_matrix"] = cached
+        return cached
+
 
 def _build(name: str, description: str,
            edges: Iterable[Tuple[int, int]],

@@ -1,0 +1,43 @@
+"""Scalable workload subsystem: registry, generators, suites, sharding.
+
+Three layers turn the paper's fixed 8-circuit, <=16-qubit evaluation
+set into a workload library that scales with the device tiers:
+
+* the **registry** (:mod:`.registry`) — parameterized families behind
+  declarative :class:`WorkloadSpec` descriptions with canonical names
+  and named suites (``paper-8`` .. ``condor-1121``);
+* the **generators** (:mod:`.generators`) — width-scalable circuit
+  families (GHZ, QFT, seeded Clifford/quantum-volume, hardware-aware
+  heavy-hex QAOA) alongside the generalized Table I families;
+* **sharding** (:mod:`.sharding`) — the deterministic
+  shard-index/shard-count contract and strict shard-result merging
+  that :func:`repro.analysis.experiments.sharded_fidelity_experiment`
+  and the ``workloads`` CLI build on.
+"""
+
+from .generators import (ghz, heavy_hex_qaoa, qft, quantum_volume,
+                         random_clifford)
+from .registry import (SUITES, WORKLOAD_FAMILIES, WorkloadFamily,
+                       WorkloadSpec, build_workload, get_workload,
+                       parse_workload_name, resolve_workload_names,
+                       suite_workloads)
+from .sharding import merge_fidelity_shards, shard_items
+
+__all__ = [
+    "SUITES",
+    "WORKLOAD_FAMILIES",
+    "WorkloadFamily",
+    "WorkloadSpec",
+    "build_workload",
+    "get_workload",
+    "ghz",
+    "heavy_hex_qaoa",
+    "merge_fidelity_shards",
+    "parse_workload_name",
+    "qft",
+    "quantum_volume",
+    "random_clifford",
+    "resolve_workload_names",
+    "shard_items",
+    "suite_workloads",
+]

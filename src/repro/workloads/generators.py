@@ -1,0 +1,198 @@
+"""Width-scalable circuit generators for the workload registry.
+
+The paper's Table I library tops out at 16 qubits; these families scale
+to condor-class widths so fidelity studies on the large tiers exercise
+realistic routing pressure (cf. qGDP, arXiv:2411.02447, and Paler's
+initial-placement study, arXiv:1811.08985 — placement conclusions shift
+with circuit width).  Every generator is a pure function of its
+arguments: randomized families draw exclusively from a
+``numpy.random.default_rng(seed)`` stream, so identical
+(width, depth, seed) triples rebuild bit-identical circuits on any
+process of the evaluation pool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.library.qaoa import qaoa
+
+Edge = Tuple[int, int]
+
+_HALF_PI = math.pi / 2
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation: one Hadamard and a CX chain.
+
+    The canonical entanglement ladder — linear two-qubit depth, so its
+    routing cost tracks how well a mapping preserves chains.
+    """
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    qc = QuantumCircuit(num_qubits, name=f"ghz-{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def qft(num_qubits: int) -> QuantumCircuit:
+    """Quantum Fourier transform with explicit bit-reversal swaps.
+
+    Controlled-phase gates decompose exactly (up to global phase) into
+    the IR as ``cp(theta; a, b) = rz(theta/2, a) rz(theta/2, b)
+    rzz(a, b, -theta/2)``.  The all-to-all interaction graph makes this
+    the registry's most routing-hostile family — two-qubit gate count
+    grows quadratically with width.
+    """
+    if num_qubits < 2:
+        raise ValueError("QFT needs at least 2 qubits")
+    qc = QuantumCircuit(num_qubits, name=f"qft-{num_qubits}")
+    for i in range(num_qubits):
+        qc.h(i)
+        for j in range(i + 1, num_qubits):
+            theta = math.pi / float(2 ** (j - i))
+            qc.rz(i, theta / 2)
+            qc.rz(j, theta / 2)
+            qc.rzz(i, j, -theta / 2)
+    for i in range(num_qubits // 2):
+        qc.swap(i, num_qubits - 1 - i)
+    return qc
+
+
+#: Single-qubit Clifford vocabulary of :func:`random_clifford`
+#: (name, rz angle or None).
+_CLIFFORD_1Q: Tuple[Tuple[str, Optional[float]], ...] = (
+    ("h", None), ("sx", None), ("x", None),
+    ("rz", _HALF_PI), ("rz", -_HALF_PI),
+)
+
+
+def random_clifford(num_qubits: int, depth: int = 12,
+                    seed: int = 0) -> QuantumCircuit:
+    """Seeded random Clifford brickwork: 1q layers + random cz pairings.
+
+    Each layer draws one single-qubit Clifford per wire, then pairs the
+    wires by a random permutation and applies cz to each pair with
+    probability 1/2.  All randomness comes from one
+    ``default_rng(seed)`` stream.
+    """
+    if num_qubits < 2:
+        raise ValueError("random Clifford layers need at least 2 qubits")
+    if depth < 1:
+        raise ValueError("need at least one Clifford layer")
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits,
+                        name=f"clifford-{num_qubits}-d{depth}-s{seed}")
+    for _ in range(depth):
+        kinds = rng.integers(0, len(_CLIFFORD_1Q), size=num_qubits)
+        for q, kind in enumerate(kinds.tolist()):
+            name, angle = _CLIFFORD_1Q[kind]
+            if angle is None:
+                getattr(qc, name)(q)
+            else:
+                qc.rz(q, angle)
+        perm = rng.permutation(num_qubits)
+        coupled = rng.random(num_qubits // 2) < 0.5
+        for k in range(num_qubits // 2):
+            if coupled[k]:
+                qc.cz(int(perm[2 * k]), int(perm[2 * k + 1]))
+    return qc
+
+
+def quantum_volume(num_qubits: int, depth: Optional[int] = None,
+                   seed: int = 0) -> QuantumCircuit:
+    """Seeded quantum-volume-style model circuit.
+
+    Each layer permutes the wires and applies an SU(4)-flavoured block
+    (ry/rz rotations around two CX) to every adjacent pair of the
+    permutation — the standard QV shape expressed in the IR's gate set.
+    ``depth`` defaults to ``num_qubits`` (square circuits, the QV
+    convention); the registry suites pin smaller depths for tractable
+    condor-scale instances.
+    """
+    if num_qubits < 2:
+        raise ValueError("quantum volume needs at least 2 qubits")
+    if depth is None:
+        depth = num_qubits
+    if depth < 1:
+        raise ValueError("need at least one quantum-volume layer")
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits,
+                        name=f"qv-{num_qubits}-d{depth}-s{seed}")
+    for _ in range(depth):
+        perm = rng.permutation(num_qubits)
+        for k in range(num_qubits // 2):
+            a, b = int(perm[2 * k]), int(perm[2 * k + 1])
+            angles = rng.uniform(0.0, 2.0 * math.pi, size=8)
+            qc.ry(a, angles[0]).rz(a, angles[1])
+            qc.ry(b, angles[2]).rz(b, angles[3])
+            qc.cx(a, b)
+            qc.ry(a, angles[4]).rz(a, angles[5])
+            qc.ry(b, angles[6]).rz(b, angles[7])
+            qc.cx(b, a)
+    return qc
+
+
+def _heavy_hex_subgraph_edges(num_qubits: int) -> List[Edge]:
+    """Interaction edges of an ``num_qubits``-node heavy-hex region.
+
+    Grows an IBM-style heavy-hex lattice at least as large as the
+    request, breadth-first orders it from node 0 (sorted neighbours, so
+    the order is deterministic), keeps the first ``num_qubits`` nodes
+    and relabels them 0..n-1 in BFS order.  The induced edges follow
+    real heavy-hex connectivity at any width.
+    """
+    from ..devices.topology import heavy_hex_lattice
+
+    # Three long rows minimum: two-row lattices at small widths have no
+    # reachable connector columns and fall apart.
+    row_len = max(5, int(math.sqrt(num_qubits / 1.25)) + 1)
+    long_rows = 3
+    topo = heavy_hex_lattice(long_rows, row_len)
+    while topo.num_qubits < num_qubits:
+        long_rows += 1
+        topo = heavy_hex_lattice(long_rows, row_len)
+    graph = topo.graph
+    order: List[int] = [0]
+    seen = {0}
+    cursor = 0
+    while len(order) < num_qubits:
+        if cursor >= len(order):
+            raise RuntimeError("heavy-hex BFS exhausted prematurely")
+        node = order[cursor]
+        cursor += 1
+        for nb in sorted(graph.neighbors(node)):
+            if nb not in seen:
+                seen.add(nb)
+                order.append(nb)
+    rank: Dict[int, int] = {node: k for k, node in enumerate(order)}
+    kept = set(order[:num_qubits])
+    edges = sorted(
+        (min(rank[u], rank[v]), max(rank[u], rank[v]))
+        for u, v in graph.edges
+        if u in kept and v in kept
+        and rank[u] < num_qubits and rank[v] < num_qubits)
+    return edges
+
+
+def heavy_hex_qaoa(num_qubits: int, layers: int = 1) -> QuantumCircuit:
+    """Hardware-aware QAOA whose problem graph *is* a heavy-hex region.
+
+    MaxCut on the coupling graph itself: on heavy-hex devices the cost
+    layer needs (nearly) no SWAPs, isolating placement quality from
+    routing noise — the counterweight to :func:`qft`.
+    """
+    if num_qubits < 2:
+        raise ValueError("heavy-hex QAOA needs at least 2 qubits")
+    if layers < 1:
+        raise ValueError("QAOA needs at least one layer")
+    edges = _heavy_hex_subgraph_edges(num_qubits)
+    qc = qaoa(num_qubits, layers=layers, edges=edges)
+    qc.name = f"hhqaoa-{num_qubits}"
+    return qc

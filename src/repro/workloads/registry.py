@@ -1,0 +1,235 @@
+"""Workload registry: declarative specs, family metadata, named suites.
+
+A :class:`WorkloadSpec` is the declarative unit of the workload
+subsystem — (family, width, depth, seed) — with a canonical name
+(``"qaoa-216"``, ``"qv-128-d6"``, ``"clifford-200-d12-s3"``) that
+round-trips through :func:`parse_workload_name`.  Specs are frozen and
+hashable, so they travel through the parallel runner's job descriptions
+and on-disk cache keys unchanged, and building the same spec anywhere
+in the pool yields a bit-identical circuit.
+
+:data:`SUITES` names the evaluation sets: ``paper-8`` (the Table I
+circuits) plus width-scaled tiers matching the registered device
+scales (``eagle-127``, ``condor-433``, ``condor-1121``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.library.bv import bernstein_vazirani
+from ..circuits.library.ising import ising_chain
+from ..circuits.library.qaoa import qaoa
+from ..circuits.library.qgan import qgan
+from .generators import (ghz, heavy_hex_qaoa, qft, quantum_volume,
+                         random_clifford)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark instance: family x width x depth x seed.
+
+    Attributes:
+        family: Registered family key (see :data:`WORKLOAD_FAMILIES`).
+        width: Circuit width in qubits.
+        depth: Family-specific depth knob (layers / steps); ``None``
+            uses the family default.
+        seed: Randomized-family seed (ignored by deterministic
+            families; part of the canonical name only when nonzero).
+    """
+
+    family: str
+    width: int
+    depth: Optional[int] = None
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        """Canonical registry name, parseable by parse_workload_name."""
+        text = f"{self.family}-{self.width}"
+        if self.depth is not None:
+            text += f"-d{self.depth}"
+        if self.seed != 0:
+            text += f"-s{self.seed}"
+        return text
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """Metadata + builder for one workload family.
+
+    Attributes:
+        name: Registry key.
+        builder: ``(spec) -> QuantumCircuit`` constructor.
+        min_width: Smallest valid width (validated with a clear error
+            before the generator runs).
+        supports_depth: Whether the family has a depth knob.
+        randomized: Whether the builder consumes ``spec.seed``.
+        description: One-line summary for ``workloads list``.
+    """
+
+    name: str
+    builder: Callable[["WorkloadSpec"], QuantumCircuit]
+    min_width: int
+    supports_depth: bool
+    randomized: bool
+    description: str
+
+
+#: Every registered workload family, keyed by canonical name.
+WORKLOAD_FAMILIES: Dict[str, WorkloadFamily] = {}
+
+
+def _register(name: str, builder: Callable[[WorkloadSpec], QuantumCircuit],
+              min_width: int, supports_depth: bool, randomized: bool,
+              description: str) -> None:
+    WORKLOAD_FAMILIES[name] = WorkloadFamily(
+        name=name, builder=builder, min_width=min_width,
+        supports_depth=supports_depth, randomized=randomized,
+        description=description)
+
+
+_register("bv", lambda s: bernstein_vazirani(s.width), 2, False, False,
+          "Bernstein-Vazirani oracle (Table I family, any width)")
+_register("qaoa", lambda s: qaoa(s.width, layers=s.depth or 1), 2, True,
+          False, "QAOA MaxCut on ring+chord instance (depth = p layers)")
+_register("ising", lambda s: ising_chain(s.width, steps=s.depth or 3), 2,
+          True, False, "Trotterised Ising chain (depth = Trotter steps)")
+_register("qgan", lambda s: qgan(s.width, layers=s.depth or 2), 2, True,
+          False, "QGAN variational ansatz (depth = ansatz blocks)")
+_register("ghz", lambda s: ghz(s.width), 2, False, False,
+          "GHZ preparation via CX chain (routing-light)")
+_register("qft", lambda s: qft(s.width), 2, False, False,
+          "Quantum Fourier transform (all-to-all, routing-heavy)")
+_register("clifford",
+          lambda s: random_clifford(s.width, depth=s.depth or 12,
+                                    seed=s.seed),
+          2, True, True,
+          "Seeded random Clifford brickwork (depth = layers)")
+_register("qv",
+          lambda s: quantum_volume(s.width, depth=s.depth, seed=s.seed),
+          2, True, True,
+          "Seeded quantum-volume model circuit (depth = QV layers)")
+_register("hhqaoa", lambda s: heavy_hex_qaoa(s.width, layers=s.depth or 1),
+          2, True, False,
+          "QAOA on a heavy-hex hardware graph (hardware-aware)")
+
+
+def parse_workload_name(name: str) -> WorkloadSpec:
+    """Parse a canonical workload name into a spec.
+
+    Accepted shapes: ``family-width``, plus optional ``-d<depth>`` and
+    ``-s<seed>`` suffixes in that order, e.g. ``"qv-128-d6-s3"``.
+    """
+    tokens = name.split("-")
+    if len(tokens) < 2:
+        raise ValueError(
+            f"workload name must look like 'family-width', got {name!r}")
+    family = tokens[0]
+    if family not in WORKLOAD_FAMILIES:
+        known = ", ".join(sorted(WORKLOAD_FAMILIES))
+        raise ValueError(
+            f"unknown workload family {family!r} in {name!r}; "
+            f"known families: {known}")
+    try:
+        width = int(tokens[1])
+    except ValueError:
+        raise ValueError(
+            f"workload width must be an integer, got {name!r}") from None
+    depth: Optional[int] = None
+    seed = 0
+    for token in tokens[2:]:
+        try:
+            if token.startswith("d"):
+                depth = int(token[1:])
+                continue
+            if token.startswith("s"):
+                seed = int(token[1:])
+                continue
+            raise ValueError
+        except ValueError:
+            raise ValueError(
+                f"unrecognised workload suffix {token!r} in {name!r}; "
+                f"expected 'd<depth>' or 's<seed>'") from None
+    return WorkloadSpec(family=family, width=width, depth=depth, seed=seed)
+
+
+def build_workload(spec: WorkloadSpec) -> QuantumCircuit:
+    """Build the circuit of a spec, validating bounds with clear errors."""
+    family = WORKLOAD_FAMILIES.get(spec.family)
+    if family is None:
+        known = ", ".join(sorted(WORKLOAD_FAMILIES))
+        raise ValueError(
+            f"unknown workload family {spec.family!r}; known: {known}")
+    if spec.width < family.min_width:
+        raise ValueError(
+            f"workload family {spec.family!r} requires width >= "
+            f"{family.min_width}, got {spec.width}")
+    if spec.depth is not None:
+        if not family.supports_depth:
+            raise ValueError(
+                f"workload family {spec.family!r} has no depth parameter "
+                f"(got depth={spec.depth})")
+        if spec.depth < 1:
+            raise ValueError(
+                f"workload depth must be >= 1, got {spec.depth}")
+    if spec.seed < 0:
+        # Negative seeds would break the canonical-name round trip
+        # ("-s-1" does not parse), and job descriptions travel as names.
+        raise ValueError(f"workload seed must be >= 0, got {spec.seed}")
+    circuit = family.builder(spec)
+    circuit.name = spec.name
+    return circuit
+
+
+def get_workload(name: str) -> QuantumCircuit:
+    """Build a workload circuit from its canonical name."""
+    return build_workload(parse_workload_name(name))
+
+
+def _specs(*names: str) -> Tuple[WorkloadSpec, ...]:
+    return tuple(parse_workload_name(name) for name in names)
+
+
+#: Named evaluation suites.  ``paper-8`` is Table I verbatim; the scale
+#: tiers pair each registered device size with width-matched workloads
+#: (the condor suites stay >= 100 qubits wide throughout, so condor
+#: fidelity studies actually exercise condor-scale routing).
+SUITES: Dict[str, Tuple[WorkloadSpec, ...]] = {
+    "paper-8": _specs("bv-4", "bv-9", "bv-16", "qaoa-4", "qaoa-9",
+                      "ising-4", "qgan-4", "qgan-9"),
+    "eagle-127": _specs("ghz-127", "bv-64", "qft-32", "qaoa-100",
+                        "hhqaoa-127", "clifford-64-d12", "qv-32-d8",
+                        "ising-100"),
+    "condor-433": _specs("ghz-433", "bv-256", "qft-128", "qaoa-216",
+                         "hhqaoa-433", "clifford-200-d12", "qv-128-d6",
+                         "ising-216"),
+    "condor-1121": _specs("ghz-1121", "bv-512", "qft-192", "qaoa-512",
+                          "hhqaoa-1121", "clifford-433-d12", "qv-256-d6",
+                          "ising-512"),
+}
+
+
+def suite_workloads(suite: str) -> Tuple[WorkloadSpec, ...]:
+    """The specs of a named suite.
+
+    Raises:
+        KeyError: with the list of known suites for unknown names.
+    """
+    try:
+        return SUITES[suite]
+    except KeyError:
+        known = ", ".join(sorted(SUITES))
+        raise KeyError(f"unknown workload suite {suite!r}; "
+                       f"known: {known}") from None
+
+
+def resolve_workload_names(arg: Sequence[str] | str) -> Tuple[str, ...]:
+    """Resolve a suite name or an explicit name sequence to spec names."""
+    if isinstance(arg, str):
+        if arg in SUITES:
+            return tuple(spec.name for spec in SUITES[arg])
+        return (parse_workload_name(arg).name,)
+    return tuple(parse_workload_name(name).name for name in arg)

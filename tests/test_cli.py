@@ -59,3 +59,73 @@ class TestCommands:
     def test_unknown_topology_errors(self):
         with pytest.raises(KeyError):
             main(["place", "not-a-chip"])
+
+
+class TestWorkloadCommands:
+    def test_list(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "clifford" in out and "condor-1121" in out
+
+    def test_build_with_transpile(self, capsys):
+        code = main(["workloads", "build", "ghz-16", "qv-8-d3-s1",
+                     "--transpile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ghz-16" in out and "basis gates" in out
+
+    def test_build_suite_name(self, capsys):
+        assert main(["workloads", "build", "paper-8"]) == 0
+        assert "qgan-9" in capsys.readouterr().out
+
+    def test_evaluate_fans_local_shards(self, capsys):
+        code = main(["workloads", "evaluate", "--topology", "grid-25",
+                     "--workloads", "bv-9,ghz-9", "--mappings", "2",
+                     "--strategies", "qplacer", "--shard-count", "2",
+                     "--jobs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bv-9" in out and "ghz-9" in out
+
+    def test_shard_and_merge_round_trip(self, capsys, tmp_path):
+        common = ["workloads", "evaluate", "--topology", "grid-25",
+                  "--workloads", "bv-9,ghz-9,qaoa-9", "--mappings", "2",
+                  "--strategies", "qplacer", "--shard-count", "2",
+                  "--jobs", "1"]
+        shard0 = tmp_path / "s0.json"
+        shard1 = tmp_path / "s1.json"
+        assert main(common + ["--shard-index", "0",
+                              "--json", str(shard0)]) == 0
+        assert main(common + ["--shard-index", "1",
+                              "--json", str(shard1)]) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert main(["workloads", "merge", str(shard0), str(shard1),
+                     "--json", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "bv-9" in out and "qaoa-9" in out
+
+        import json
+        payload = json.loads(merged.read_text())
+        assert list(payload["fidelity"]) == ["bv-9", "ghz-9", "qaoa-9"]
+
+    @pytest.mark.parametrize("mismatch", [
+        {"topology": "falcon-27"},
+        {"placement_seed": 7},
+        {"segment_size_mm": 0.5},
+        {"strategies": ["qplacer", "classic"]},
+    ])
+    def test_merge_rejects_mismatched_shards(self, tmp_path, mismatch):
+        import json
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        base = {"kind": "workload-shard", "topology": "grid-25",
+                "workloads": ["bv-9"], "shard_count": 2,
+                "num_mappings": 2, "base_seed": 0, "shard_index": 0,
+                "strategies": ["qplacer"], "placement_seed": 0,
+                "segment_size_mm": 0.3, "interaction_backend": "auto",
+                "fidelity": {}}
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps({**base, **mismatch, "shard_index": 1}))
+        with pytest.raises(SystemExit):
+            main(["workloads", "merge", str(a), str(b)])

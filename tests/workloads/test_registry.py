@@ -1,0 +1,150 @@
+"""Unit tests for the workload registry, suites, and name resolution."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (FAMILY_MIN_WIDTHS, PAPER_BENCHMARKS,
+                                    get_benchmark)
+from repro.workloads import (SUITES, WORKLOAD_FAMILIES, WorkloadSpec,
+                             build_workload, get_workload,
+                             parse_workload_name, resolve_workload_names,
+                             suite_workloads)
+
+from ..circuits.util_sim import circuit_unitary, unitaries_equal_up_to_phase
+
+
+class TestParsing:
+    def test_basic_name(self):
+        spec = parse_workload_name("qaoa-216")
+        assert spec == WorkloadSpec("qaoa", 216)
+        assert spec.name == "qaoa-216"
+
+    def test_depth_and_seed_suffixes(self):
+        spec = parse_workload_name("qv-128-d6-s3")
+        assert spec == WorkloadSpec("qv", 128, depth=6, seed=3)
+        assert spec.name == "qv-128-d6-s3"
+
+    def test_name_round_trip(self):
+        for name in ("bv-4", "clifford-200-d12", "qv-64-d8-s5", "ghz-1121"):
+            assert parse_workload_name(name).name == name
+
+    @pytest.mark.parametrize("bad", ["qaoa", "qaoa-x", "shor-9",
+                                     "qaoa-4-z9", "qv-8-d"])
+    def test_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            parse_workload_name(bad)
+
+
+class TestValidation:
+    def test_min_width_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="requires width >= 2"):
+            get_workload("qaoa-1")
+
+    def test_depth_on_depthless_family(self):
+        with pytest.raises(ValueError, match="no depth parameter"):
+            get_workload("bv-16-d3")
+
+    def test_nonpositive_depth(self):
+        with pytest.raises(ValueError, match="depth must be >= 1"):
+            get_workload("qaoa-8-d0")
+
+    def test_min_widths_match_library(self):
+        for family, minimum in FAMILY_MIN_WIDTHS.items():
+            assert WORKLOAD_FAMILIES[family].min_width == minimum
+
+
+class TestBuilding:
+    @pytest.mark.parametrize("name,width", [
+        ("ghz-16", 16), ("qft-8", 8), ("clifford-12-d4", 12),
+        ("qv-8-d3-s1", 8), ("hhqaoa-32", 32), ("bv-64", 64),
+        ("qaoa-24-d2", 24), ("ising-10-d2", 10), ("qgan-12-d3", 12),
+    ])
+    def test_width_honored_and_named(self, name, width):
+        circuit = get_workload(name)
+        assert circuit.num_qubits == width
+        assert circuit.name == name
+
+    def test_randomized_families_reproducible(self):
+        for name in ("clifford-10-d5-s7", "qv-8-d4-s7"):
+            assert get_workload(name).gates == get_workload(name).gates
+
+    def test_seed_changes_randomized_circuits(self):
+        assert (get_workload("clifford-10-d5-s1").gates
+                != get_workload("clifford-10-d5-s2").gates)
+        assert (get_workload("qv-8-d4-s1").gates
+                != get_workload("qv-8-d4-s2").gates)
+
+    def test_ghz_statevector(self):
+        circuit = get_workload("ghz-3")
+        state = circuit_unitary(circuit)[:, 0]
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = expected[7] = 1 / np.sqrt(2)
+        assert np.allclose(np.abs(state), np.abs(expected), atol=1e-9)
+
+    def test_qft_matches_fourier_matrix(self):
+        circuit = get_workload("qft-3")
+        n = 8
+        omega = np.exp(2j * np.pi / n)
+        dft = np.array([[omega ** (j * k) for k in range(n)]
+                        for j in range(n)]) / np.sqrt(n)
+        assert unitaries_equal_up_to_phase(circuit_unitary(circuit), dft)
+
+    def test_hhqaoa_edges_are_sparse(self):
+        # Hardware-aware instances must stay near the heavy-hex degree
+        # bound (<= 3), unlike the ring+chord default instance.
+        circuit = get_workload("hhqaoa-64")
+        degree = {}
+        for gate in circuit.gates:
+            if gate.name == "rzz":
+                for q in gate.qubits:
+                    degree[q] = degree.get(q, 0) + 1
+        assert max(degree.values()) <= 3
+
+
+class TestSuites:
+    def test_paper8_matches_library(self):
+        assert tuple(s.name for s in SUITES["paper-8"]) == PAPER_BENCHMARKS
+
+    def test_condor_suites_are_wide(self):
+        for suite in ("condor-433", "condor-1121"):
+            assert all(spec.width >= 100 for spec in SUITES[suite])
+
+    def test_every_suite_spec_is_buildable(self):
+        # Widths checked without building the giant circuits.
+        for specs in SUITES.values():
+            for spec in specs:
+                family = WORKLOAD_FAMILIES[spec.family]
+                assert spec.width >= family.min_width
+                if spec.depth is not None:
+                    assert family.supports_depth
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError, match="known"):
+            suite_workloads("nope-9")
+
+    def test_resolve_workload_names(self):
+        assert resolve_workload_names("paper-8") == PAPER_BENCHMARKS
+        assert resolve_workload_names(("ghz-8", "bv-4")) == ("ghz-8", "bv-4")
+        assert resolve_workload_names("ghz-8") == ("ghz-8",)
+
+
+class TestLibraryDelegation:
+    def test_get_benchmark_accepts_registry_names(self):
+        assert get_benchmark("ghz-64").num_qubits == 64
+        assert get_benchmark("qv-8-d3-s1").name == "qv-8-d3-s1"
+
+    def test_get_benchmark_min_width_error(self):
+        with pytest.raises(ValueError, match="requires width >= 2"):
+            get_benchmark("qaoa-1")
+
+    def test_get_benchmark_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_benchmark("shor-9")
+
+    def test_paper_names_still_resolve(self):
+        for name in PAPER_BENCHMARKS:
+            assert get_benchmark(name).name == name
+
+    def test_build_workload_equals_get_benchmark(self):
+        spec = WorkloadSpec("bv", 16)
+        assert build_workload(spec).gates == get_benchmark("bv-16").gates
