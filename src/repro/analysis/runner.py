@@ -49,7 +49,10 @@ from ..core.config import PlacerConfig
 #: Bump when placement/evaluation semantics change so stale cached
 #: results are never returned.
 #: 2: interaction-backend config fields; condor topologies; mapping jobs.
-CACHE_SCHEMA_VERSION = 2
+#: 3: mapping-protocol fixes — fixed subset start-node cycling and
+#:    canonical shortest-path tie-breaking change every MappingJob
+#:    batch (and everything downstream of evaluation_mappings).
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"

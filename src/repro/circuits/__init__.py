@@ -24,8 +24,10 @@ from .mapping import (
     interaction_weights,
     map_circuit,
     route,
+    route_basic_arrays,
     sample_connected_subset,
 )
+from .mapping_reference import initial_placement_reference, route_reference
 from .batch import ArrayCircuit, transpile_batched
 from .sabre import route_sabre
 from .transpile import cancel_pairs, lower_to_basis, merge_rz, transpile
@@ -47,6 +49,7 @@ __all__ = [
     "evaluation_mappings",
     "get_benchmark",
     "initial_placement",
+    "initial_placement_reference",
     "interaction_weights",
     "ising_chain",
     "lower_to_basis",
@@ -55,6 +58,8 @@ __all__ = [
     "qaoa",
     "qgan",
     "route",
+    "route_basic_arrays",
+    "route_reference",
     "route_sabre",
     "sample_connected_subset",
     "transpile",

@@ -34,7 +34,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .circuit import QuantumCircuit
+from .. import constants
+from .circuit import QuantumCircuit, Schedule
 from .gates import Gate
 
 _TWO_PI = 2.0 * math.pi
@@ -165,6 +166,51 @@ class ArrayCircuit:
             vocabulary.append(Gate(NAME_OF[code], qubits, gate_params))
         out.gates = [vocabulary[k] for k in uid.tolist()]
         return out
+
+    def asap_schedule(self,
+                      single_qubit_ns: float = constants.SINGLE_QUBIT_GATE_NS,
+                      two_qubit_ns: float = constants.TWO_QUBIT_GATE_NS
+                      ) -> Schedule:
+        """ASAP schedule straight from the columns (no ``Gate`` decode).
+
+        Bit-identical to ``self.to_circuit().asap_schedule(...)``: the
+        recurrence (start = max of the operands' ready times, ready =
+        start + duration) runs in the same gate order with the same
+        float additions.  Virtual rz rows are skipped outright — a zero
+        duration never changes a ready or busy value — and the
+        per-qubit state lives in flat lists instead of dicts, which is
+        what makes the mapped pipeline's scheduling step cheap at
+        condor scale.
+        """
+        ready = [0.0] * self.num_qubits
+        busy = [0.0] * self.num_qubits
+        used = [False] * self.num_qubits
+        codes = self.codes.tolist()
+        q0 = self.q0.tolist()
+        q1 = self.q1.tolist()
+        for i in range(len(codes)):
+            a = q0[i]
+            b = q1[i]
+            used[a] = True
+            if b >= 0:
+                used[b] = True
+                ra = ready[a]
+                rb = ready[b]
+                t = (ra if ra >= rb else rb) + two_qubit_ns
+                ready[a] = t
+                ready[b] = t
+                busy[a] += two_qubit_ns
+                busy[b] += two_qubit_ns
+            elif codes[i] != RZ:
+                ready[a] += single_qubit_ns
+                busy[a] += single_qubit_ns
+        total = 0.0
+        for q in range(self.num_qubits):
+            if used[q] and ready[q] > total:
+                total = ready[q]
+        return Schedule(total_ns=total,
+                        busy_ns={q: busy[q] for q in range(self.num_qubits)
+                                 if used[q]})
 
 
 # -- lowering templates --------------------------------------------------------

@@ -5,31 +5,63 @@ qubits** chosen to cover the whole chip, reusing the *same* mappings for
 every placement strategy.  This module reproduces that protocol:
 
 1. :func:`sample_connected_subset` grows a random connected region of the
-   coupling graph from a seed-dependent start node;
+   coupling graph from a start node cycling through a fixed chip-wide
+   permutation (so a 0..49 seed batch provably covers the chip);
 2. :func:`initial_placement` assigns logical qubits to subset nodes,
    keeping strongly interacting logical pairs physically close;
-3. :func:`route` inserts SWAPs along shortest coupler paths until every
-   two-qubit gate is executable;
+3. :func:`route` inserts SWAPs along canonical shortest coupler paths
+   until every two-qubit gate is executable;
 4. the result is lowered to the native basis by the batched engine
    (:mod:`repro.circuits.batch`, gate-for-gate identical to
    :mod:`repro.circuits.transpile`) and scheduled ASAP.
+
+Steps 2 and 3 are the **vectorized** implementations: the placement
+scores every free candidate node at once against the topology's dense
+hop-distance matrix, and the basic router scans gate adjacency in
+column-array chunks with batched emission (per-gate Python touched only
+for blocked gates), mirroring the
+:mod:`repro.circuits.batch`/:mod:`repro.circuits.sabre` playbook.  The
+seed per-gate implementations survive in
+:mod:`repro.circuits.mapping_reference`; the pairs are output-identical
+(pinned by ``tests/properties/test_mapping_props.py`` and the
+``benchmarks/bench_perf_mapping.py`` gate).
 """
 
 from __future__ import annotations
 
+import functools
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import networkx as nx
 import numpy as np
 
 from ..devices.topology import Topology
-from .batch import transpile_batched
+from .batch import CODE_OF, SWAP, ArrayCircuit, transpile_arrays
 from .circuit import QuantumCircuit, Schedule
-from .gates import Gate
 
 Edge = Tuple[int, int]
+
+#: Seed of the fixed protocol rng that orders subset start nodes.  One
+#: permutation per chip size, shared by every subset seed — this is what
+#: makes the 50-seed batch deterministically cycle through distinct
+#: start nodes (the seed repo re-derived the permutation from each
+#: subset's own rng, so ``start_order[seed % n]`` indexed a *different*
+#: permutation each call and chip coverage was accidental).
+PROTOCOL_START_SEED = 0
+
+#: Consecutive executable gates before the basic router switches from
+#: scalar emission to vectorized run scanning.  Routing-heavy circuits
+#: interleave blocked gates every few positions (runs too short to
+#: amortise a numpy scan), while easy regimes — a well-placed GHZ/BV
+#: chain — execute thousands of gates between SWAP walks; the streak
+#: keeps the scalar path pure in the first regime and batches the
+#: second.
+VECTOR_STREAK = 16
+
+#: First vectorized scan window; doubles while the run keeps going, so
+#: scan cost stays proportional to the run length, not the circuit.
+VECTOR_WINDOW = 64
 
 
 @dataclass
@@ -88,12 +120,33 @@ class MappedCircuit:
         return dict(counts)
 
 
+@functools.lru_cache(maxsize=None)
+def _protocol_start_order(n: int) -> Tuple[int, ...]:
+    """Fixed chip-wide start-node permutation shared by every seed."""
+    rng = np.random.default_rng(PROTOCOL_START_SEED)
+    return tuple(int(q) for q in rng.permutation(n))
+
+
 def sample_connected_subset(topology: Topology, size: int,
-                            seed: int = 0) -> List[int]:
+                            seed: int = 0,
+                            legacy_start: bool = False) -> List[int]:
     """Grow a random connected subset of ``size`` physical qubits.
 
-    The start node cycles deterministically with the seed so that a batch
-    of seeds (0..49 in the paper protocol) covers the whole chip.
+    The start node is ``order[seed % n]`` of one fixed protocol
+    permutation (:data:`PROTOCOL_START_SEED`), so a batch of seeds
+    (0..49 in the paper protocol) cycles through ``min(n, 50)``
+    *distinct* start nodes and the subset union covers the whole chip
+    on every <=50-qubit device.  The region growth itself stays
+    seed-randomised.
+
+    Args:
+        topology: Target device.
+        size: Number of qubits to select.
+        seed: Deterministic subset seed.
+        legacy_start: Restore the seed repo's behaviour of re-deriving
+            the start permutation from this subset's own rng (which
+            made coverage accidental — kept only for reproducing old
+            recorded artefacts).
 
     Raises:
         ValueError: when ``size`` exceeds the device size.
@@ -102,8 +155,11 @@ def sample_connected_subset(topology: Topology, size: int,
     if size < 1 or size > n:
         raise ValueError(f"subset size {size} out of range 1..{n}")
     rng = np.random.default_rng(seed)
-    start_order = rng.permutation(n)
-    start = int(start_order[seed % n])
+    if legacy_start:
+        start_order = rng.permutation(n)
+        start = int(start_order[seed % n])
+    else:
+        start = _protocol_start_order(n)[seed % n]
     subset = {start}
     frontier = set(topology.neighbors(start))
     while len(subset) < size:
@@ -131,87 +187,242 @@ def initial_placement(circuit: QuantumCircuit, topology: Topology,
                       subset: Sequence[int]) -> Dict[int, int]:
     """Greedy interaction-aware logical -> physical assignment.
 
-    The most-interacting logical qubit lands on the subset's most central
-    node; every following qubit takes the free node minimising the
-    weighted distance to its already-placed interaction partners.
+    The most-interacting logical qubit lands on the subset's most
+    central node; every following qubit takes the free node minimising
+    the weighted distance to its already-placed interaction partners.
+
+    This is the vectorized scan: per logical qubit, one gather of the
+    free-candidate x placed-partner block from the topology's dense hop
+    matrix and one integer matvec replace the seed implementation's
+    re-walk of every weight pair per candidate.  All scores are exact
+    integers, so the argmin (ties to the lowest node index, like the
+    scalar ``min`` over ``(cost, node)`` keys) reproduces
+    :func:`repro.circuits.mapping_reference.initial_placement_reference`
+    bit for bit.
     """
     subset = list(subset)
     if circuit.num_qubits > len(subset):
         raise ValueError("subset smaller than circuit width")
-    all_lengths = topology.hop_distances()
-    sub_lengths = {s: all_lengths[s] for s in subset}
+    nodes = np.unique(np.asarray(subset, dtype=np.int64))
+    # Validates subset membership (KeyError on bad nodes) and gathers
+    # the subset-vs-subset block for the eccentricity seed choice.
+    sub_dist = topology.hop_distance_submatrix(nodes)
+    dist = topology.hop_distance_matrix()
     weights = interaction_weights(circuit)
     degree: Counter = Counter()
+    partners: Dict[int, List[Tuple[int, int]]] = {
+        q: [] for q in range(circuit.num_qubits)}
     for (a, b), w in weights.items():
         degree[a] += w
         degree[b] += w
+        partners[a].append((b, w))
+        partners[b].append((a, w))
     order = sorted(range(circuit.num_qubits), key=lambda q: (-degree[q], q))
-    free = set(subset)
+    free = nodes  # sorted ascending: argmin ties break to lowest node
+    placed_at = np.full(circuit.num_qubits, -1, dtype=np.int64)
     mapping: Dict[int, int] = {}
     for logical in order:
         if not mapping:
             # Most central free node: minimise eccentricity within subset.
-            choice = min(free, key=lambda s: (max(sub_lengths[s][t] for t in subset), s))
+            k = int(np.argmin(sub_dist.max(axis=1)))
         else:
-            def cost(node: int) -> Tuple[float, int]:
-                total = 0.0
-                for (a, b), w in weights.items():
-                    partner = None
-                    if a == logical and b in mapping:
-                        partner = mapping[b]
-                    elif b == logical and a in mapping:
-                        partner = mapping[a]
-                    if partner is not None:
-                        total += w * sub_lengths[node][partner]
-                return (total, node)
-
-            choice = min(free, key=cost)
+            inc = partners[logical]
+            part = np.fromiter((placed_at[o] for o, _ in inc),
+                               dtype=np.int64, count=len(inc))
+            wgt = np.fromiter((w for _, w in inc),
+                              dtype=np.int64, count=len(inc))
+            placed = part >= 0
+            if placed.any():
+                cost = dist[free[:, None], part[placed][None, :]] @ wgt[placed]
+                k = int(np.argmin(cost))
+            else:
+                k = 0  # all costs zero: lowest free node wins
+        choice = int(free[k])
         mapping[logical] = choice
-        free.discard(choice)
+        placed_at[logical] = choice
+        free = np.delete(free, k)
     return mapping
+
+
+def route_basic_arrays(circuit: QuantumCircuit, topology: Topology,
+                       mapping: Dict[int, int]
+                       ) -> Tuple[ArrayCircuit, Dict[int, int], int]:
+    """Shortest-path SWAP routing over column arrays.
+
+    Array restatement of
+    :func:`repro.circuits.mapping_reference.route_reference`: the gate
+    stream is encoded once into code/qubit/parameter columns, blocked
+    gates walk the topology's canonical next-hop table (the same table
+    ``Topology.shortest_path`` walks, which is what pins the two
+    routers to the identical swap sequence), and long executable runs
+    are detected with doubling-window scans against the dense hop
+    matrix and emitted in batched remaps.  No ``Gate`` objects, no
+    ``nx.shortest_path`` calls, no per-append circuit validation;
+    occupancy lives in flat ``pos``/``phys_of`` sequences with ``-1``
+    sentinels, so walks through *unoccupied* physical qubits need no
+    dict juggling.
+
+    Returns:
+        ``(physical_arrays, final_mapping, swap_count)`` with the
+        physical circuit still in IR gate codes over physical indices;
+        feed it to :func:`repro.circuits.batch.transpile_arrays` or
+        decode with ``to_circuit()``.
+    """
+    dist = topology.hop_distance_matrix()
+    nxt = topology.shortest_path_next_hop()
+
+    gates = [g for g in circuit.gates if g.name != "barrier"]
+    n_gates = len(gates)
+    code_l: List[int] = []
+    q0_l: List[int] = []
+    q1_l: List[int] = []
+    param_l: List[float] = []
+    for gate in gates:
+        code_l.append(CODE_OF[gate.name])
+        for q in gate.qubits:
+            if q not in mapping:
+                raise KeyError(q)
+        q0_l.append(gate.qubits[0])
+        q1_l.append(gate.qubits[1] if len(gate.qubits) == 2 else -1)
+        param_l.append(gate.params[0] if gate.params else 0.0)
+    g_code = np.asarray(code_l, dtype=np.int64)
+    g_q0 = np.asarray(q0_l, dtype=np.int64)
+    g_q1 = np.asarray(q1_l, dtype=np.int64)
+    g_param = np.asarray(param_l, dtype=np.float64)
+
+    n_phys = topology.num_qubits
+    pos = [-1] * circuit.num_qubits  # logical -> physical
+    phys_of = [-1] * n_phys          # physical -> logical (-1 = empty)
+    for logical, phys in mapping.items():
+        pos[logical] = phys
+        phys_of[phys] = logical
+    pos_np: Optional[np.ndarray] = None  # numpy mirror, rebuilt per run
+
+    seg_codes: List[np.ndarray] = []
+    seg_q0: List[np.ndarray] = []
+    seg_q1: List[np.ndarray] = []
+    seg_param: List[np.ndarray] = []
+    pend_c: List[int] = []
+    pend_0: List[int] = []
+    pend_1: List[int] = []
+    pend_p: List[float] = []
+    swap_count = 0
+
+    def flush_pending() -> None:
+        if pend_c:
+            seg_codes.append(np.array(pend_c, dtype=np.int64))
+            seg_q0.append(np.array(pend_0, dtype=np.int64))
+            seg_q1.append(np.array(pend_1, dtype=np.int64))
+            seg_param.append(np.array(pend_p, dtype=np.float64))
+            pend_c.clear()
+            pend_0.clear()
+            pend_1.clear()
+            pend_p.clear()
+
+    i = 0
+    streak = 0  # consecutive executable gates emitted scalar
+    while i < n_gates:
+        b = q1_l[i]
+        if b >= 0:
+            pa = pos[q0_l[i]]
+            pb = pos[b]
+            if dist[pa, pb] != 1:
+                # Swap logical qubit a along the canonical path until
+                # adjacent to pb (the last path edge hosts the gate).
+                u = pa
+                v = int(nxt[u, pb])
+                while v != pb:
+                    pend_c.append(SWAP)
+                    pend_0.append(u)
+                    pend_1.append(v)
+                    pend_p.append(0.0)
+                    swap_count += 1
+                    lu, lv = phys_of[u], phys_of[v]
+                    if lu >= 0:
+                        pos[lu] = v
+                    if lv >= 0:
+                        pos[lv] = u
+                    phys_of[u] = lv
+                    phys_of[v] = lu
+                    u = v
+                    v = int(nxt[u, pb])
+                pos_np = None
+                pa = pos[q0_l[i]]
+                streak = 0
+            else:
+                streak += 1
+            pend_c.append(code_l[i])
+            pend_0.append(pa)
+            pend_1.append(pb)
+            pend_p.append(param_l[i])
+            i += 1
+        else:
+            pend_c.append(code_l[i])
+            pend_0.append(pos[q0_l[i]])
+            pend_1.append(-1)
+            pend_p.append(param_l[i])
+            i += 1
+            streak += 1
+        if streak < VECTOR_STREAK or i >= n_gates:
+            continue
+
+        # -- batched emission of a long executable run ------------------
+        if pos_np is None:
+            pos_np = np.asarray(pos, dtype=np.int64)
+        window = VECTOR_WINDOW
+        while i < n_gates:
+            end = min(i + window, n_gates)
+            q1s = g_q1[i:end]
+            two = q1s >= 0
+            safe_q1 = np.where(two, q1s, 0)
+            p0 = pos_np[g_q0[i:end]]
+            p1 = np.where(two, pos_np[safe_q1], -1)
+            executable = ~two | (dist[p0, np.where(two, p1, 0)] == 1)
+            run = int(executable.argmin()) if not executable.all() \
+                else end - i
+            if run:
+                flush_pending()
+                seg_codes.append(g_code[i:i + run])
+                seg_q0.append(p0[:run])
+                seg_q1.append(p1[:run])
+                seg_param.append(g_param[i:i + run])
+                i += run
+            if i < end:
+                break  # blocked gate found: back to the scalar loop
+            window = min(window * 2, 8192)
+        streak = 0
+    flush_pending()
+
+    if seg_codes:
+        physical = ArrayCircuit(
+            num_qubits=n_phys,
+            codes=np.concatenate(seg_codes),
+            q0=np.concatenate(seg_q0),
+            q1=np.concatenate(seg_q1),
+            params=np.concatenate(seg_param),
+            name=circuit.name)
+    else:
+        physical = ArrayCircuit.empty(n_phys, name=circuit.name)
+    final_mapping = {logical: pos[logical] for logical in mapping}
+    return physical, final_mapping, swap_count
 
 
 def route(circuit: QuantumCircuit, topology: Topology,
           mapping: Dict[int, int]) -> Tuple[QuantumCircuit, Dict[int, int], int]:
     """Insert SWAPs so every two-qubit gate acts on coupled qubits.
 
+    Decoding wrapper over :func:`route_basic_arrays` (one ``Gate``
+    materialisation at the very end), output-identical to the preserved
+    :func:`repro.circuits.mapping_reference.route_reference`.
+
     Returns:
         ``(physical_circuit, final_mapping, swap_count)`` where the
         physical circuit is still in IR gates (swap/cx/... not yet
         lowered) over physical indices.
     """
-    logical_at: Dict[int, int] = dict(mapping)  # logical -> physical
-    physical_of: Dict[int, int] = {p: l for l, p in mapping.items()}
-    out = QuantumCircuit(topology.num_qubits, name=circuit.name)
-    swap_count = 0
-    for gate in circuit.gates:
-        if gate.name == "barrier":
-            continue
-        if not gate.is_two_qubit:
-            out.append(gate.remapped(logical_at))
-            continue
-        a, b = gate.qubits
-        pa, pb = logical_at[a], logical_at[b]
-        if not topology.graph.has_edge(pa, pb):
-            path = topology.shortest_path(pa, pb)
-            # Swap logical qubit a along the path until adjacent to pb.
-            for step in range(len(path) - 2):
-                u, v = path[step], path[step + 1]
-                out.append(Gate("swap", (u, v)))
-                swap_count += 1
-                lu, lv = physical_of.get(u), physical_of.get(v)
-                if lu is not None:
-                    logical_at[lu] = v
-                if lv is not None:
-                    logical_at[lv] = u
-                physical_of[u], physical_of[v] = lv, lu
-                if physical_of.get(u) is None:
-                    physical_of.pop(u, None)
-                if physical_of.get(v) is None:
-                    physical_of.pop(v, None)
-            pa, pb = logical_at[a], logical_at[b]
-        out.append(gate.remapped({a: pa, b: pb}))
-    return out, logical_at, swap_count
+    arrays, final_mapping, swap_count = route_basic_arrays(
+        circuit, topology, mapping)
+    return arrays.to_circuit(), final_mapping, swap_count
 
 
 def map_circuit(circuit: QuantumCircuit, topology: Topology,
@@ -220,6 +431,10 @@ def map_circuit(circuit: QuantumCircuit, topology: Topology,
                 optimization_level: int = 3,
                 router: str = "basic") -> MappedCircuit:
     """Full pipeline: subset -> placement -> routing -> transpile -> schedule.
+
+    Both routers stay in column arrays from routing through
+    transpilation; the single decode at the end is the only per-gate
+    Python loop on the compile path.
 
     Args:
         circuit: Logical benchmark circuit.
@@ -234,28 +449,23 @@ def map_circuit(circuit: QuantumCircuit, topology: Topology,
         subset = sample_connected_subset(topology, circuit.num_qubits, seed)
     mapping = initial_placement(circuit, topology, subset)
     if router == "basic":
-        routed, final_mapping, swap_count = route(circuit, topology, mapping)
-        physical = transpile_batched(routed,
-                                     optimization_level=optimization_level)
+        routed_arrays, final_mapping, swap_count = route_basic_arrays(
+            circuit, topology, mapping)
     elif router == "sabre":
-        # Stay in column arrays from routing through transpilation; the
-        # single decode at the end is the only per-gate Python loop.
-        from .batch import transpile_arrays
         from .sabre import route_sabre_arrays
         routed_arrays, final_mapping, swap_count = route_sabre_arrays(
             circuit, topology, mapping)
-        physical = transpile_arrays(
-            routed_arrays,
-            optimization_level=optimization_level).to_circuit()
     else:
         raise ValueError(f"unknown router {router!r}; use 'basic' or 'sabre'")
+    basis_arrays = transpile_arrays(routed_arrays,
+                                    optimization_level=optimization_level)
     return MappedCircuit(
-        physical_circuit=physical,
+        physical_circuit=basis_arrays.to_circuit(),
         topology=topology,
         initial_mapping=mapping,
         final_mapping=final_mapping,
         swap_count=swap_count,
-        schedule=physical.asap_schedule(),
+        schedule=basis_arrays.asap_schedule(),
     )
 
 

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 import networkx as nx
 
@@ -140,8 +141,24 @@ class Topology:
         return sorted(self.graph.neighbors(qubit))
 
     def shortest_path(self, src: int, dst: int) -> List[int]:
-        """Shortest coupler path between two qubits."""
-        return nx.shortest_path(self.graph, src, dst)
+        """Canonical shortest coupler path between two qubits.
+
+        Walks the cached :meth:`shortest_path_next_hop` table, so the
+        path choice is deterministic (lowest-index neighbour first)
+        rather than whatever tie networkx's bidirectional search breaks
+        — the basic router's array kernel reconstructs the same walks
+        from the same table, which is what makes its output
+        bit-identical to the reference walker.
+        """
+        if not (0 <= src < self.num_qubits and 0 <= dst < self.num_qubits):
+            raise nx.NodeNotFound(f"node {src} or {dst} not in {self.name}")
+        if src == dst:
+            return [src]
+        nxt = self.shortest_path_next_hop()
+        path = [src]
+        while path[-1] != dst:
+            path.append(int(nxt[path[-1], dst]))
+        return path
 
     def distance_matrix(self) -> Dict[int, Dict[int, int]]:
         """All-pairs shortest-path hop distances."""
@@ -188,6 +205,62 @@ class Topology:
             cached = shortest_path(adjacency, method="D",
                                    unweighted=True).astype(np.int64)
             self.__dict__["_hop_distance_matrix"] = cached
+        return cached
+
+    def hop_distance_submatrix(self, rows: Sequence[int],
+                               cols: Optional[Sequence[int]] = None
+                               ) -> "np.ndarray":
+        """Hop distances gathered for ``rows`` x ``cols`` node subsets.
+
+        The vectorized mapper scores whole candidate sets at once, which
+        needs the ``len(rows) x len(cols)`` block of the dense matrix
+        (``cols`` defaults to ``rows``, the subset-vs-subset case).
+        Indices are validated so a bad node raises ``KeyError`` exactly
+        like the per-source :meth:`hop_distances` rows would, instead of
+        silently wrapping negative indices.
+        """
+        import numpy as np
+
+        dist = self.hop_distance_matrix()
+        row_idx = np.asarray(rows, dtype=np.int64)
+        col_idx = row_idx if cols is None else np.asarray(cols,
+                                                         dtype=np.int64)
+        for idx in (row_idx, col_idx):
+            if idx.size and (idx.min() < 0 or idx.max() >= self.num_qubits):
+                bad = idx[(idx < 0) | (idx >= self.num_qubits)][0]
+                raise KeyError(int(bad))
+        return dist[row_idx[:, None], col_idx[None, :]]
+
+    def shortest_path_next_hop(self) -> "np.ndarray":
+        """Cached canonical next-hop table for shortest-path walking.
+
+        ``next_hop[s, d]`` is the first step of the canonical shortest
+        path from ``s`` to ``d``: the lowest-indexed neighbour of ``s``
+        whose hop distance to ``d`` is one less than ``s``'s own
+        (``next_hop[d, d] = d``).  Walking the table therefore always
+        yields a shortest path, and the same deterministic one for
+        every caller — the basic router's batched SWAP emission and the
+        preserved reference walker both route along it, which pins
+        their outputs to each other.  Do not mutate the returned array.
+        """
+        cached = self.__dict__.get("_shortest_path_next_hop")
+        if cached is None:
+            import numpy as np
+
+            dist = self.hop_distance_matrix()
+            n = self.num_qubits
+            cached = np.empty((n, n), dtype=np.int64)
+            for s in range(n):
+                nbrs = np.fromiter(sorted(self.graph.neighbors(s)),
+                                   dtype=np.int64)
+                if nbrs.size == 0:  # single-node chip: only s -> s
+                    cached[s] = s
+                    continue
+                # First (lowest-index) neighbour strictly closer to d.
+                closer = dist[nbrs] == dist[s] - 1
+                cached[s] = nbrs[np.argmax(closer, axis=0)]
+                cached[s, s] = s
+            self.__dict__["_shortest_path_next_hop"] = cached
         return cached
 
 

@@ -209,3 +209,77 @@ class TestTopologyClass:
         with pytest.raises(ValueError, match="coords"):
             Topology(name="bad", description="", graph=graph,
                      coords={0: (0, 0)})
+
+
+class TestCanonicalPaths:
+    def test_next_hop_walks_are_shortest_paths(self):
+        for topo in (grid_topology(3, 3), falcon_topology()):
+            nxt = topo.shortest_path_next_hop()
+            dm = topo.distance_matrix()
+            n = topo.num_qubits
+            for s in range(n):
+                for d in range(n):
+                    path = topo.shortest_path(s, d)
+                    assert path[0] == s and path[-1] == d
+                    assert len(path) == dm[s][d] + 1
+                    for u, v in zip(path, path[1:]):
+                        assert topo.graph.has_edge(u, v)
+                    if s != d:
+                        assert nxt[s, d] == path[1]
+
+    def test_next_hop_prefers_lowest_index_neighbour(self):
+        topo = grid_topology(3, 3)
+        nxt = topo.shortest_path_next_hop()
+        dm = topo.distance_matrix()
+        for s in range(9):
+            for d in range(9):
+                if s == d:
+                    assert nxt[s, d] == s
+                    continue
+                closer = [q for q in topo.neighbors(s)
+                          if dm[q][d] == dm[s][d] - 1]
+                assert nxt[s, d] == min(closer)
+
+    def test_next_hop_cached(self):
+        topo = grid_topology(3, 3)
+        assert topo.shortest_path_next_hop() is topo.shortest_path_next_hop()
+
+    def test_shortest_path_trivial_and_invalid(self):
+        topo = grid_topology(2, 2)
+        assert topo.shortest_path(3, 3) == [3]
+        with pytest.raises(nx.NodeNotFound):
+            topo.shortest_path(0, 99)
+        with pytest.raises(nx.NodeNotFound):
+            topo.shortest_path(99, 99)  # trivial case is validated too
+
+    def test_single_node_chip(self):
+        topo = grid_topology(1, 1)
+        assert topo.shortest_path_next_hop().tolist() == [[0]]
+        assert topo.shortest_path(0, 0) == [0]
+
+
+class TestHopDistanceSubmatrix:
+    def test_matches_distance_matrix(self):
+        topo = falcon_topology()
+        dm = topo.distance_matrix()
+        rows = [0, 5, 26]
+        cols = [1, 7, 13, 20]
+        block = topo.hop_distance_submatrix(rows, cols)
+        assert block.shape == (3, 4)
+        for i, r in enumerate(rows):
+            for j, c in enumerate(cols):
+                assert block[i, j] == dm[r][c]
+
+    def test_square_default_cols(self):
+        topo = grid_topology(3, 3)
+        block = topo.hop_distance_submatrix([2, 4, 8])
+        assert block.shape == (3, 3)
+        assert block[0, 2] == topo.distance_matrix()[2][8]
+        assert (block.diagonal() == 0).all()
+
+    def test_invalid_nodes_raise_keyerror(self):
+        topo = grid_topology(2, 2)
+        with pytest.raises(KeyError):
+            topo.hop_distance_submatrix([0, 4])
+        with pytest.raises(KeyError):
+            topo.hop_distance_submatrix([0], [-1])
