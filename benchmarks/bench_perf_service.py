@@ -1,0 +1,223 @@
+"""Placement-service gates: dedup, bit-identity, HTTP throughput.
+
+ISSUE 5's acceptance harness.  A real :class:`~repro.service.api.
+PlacementService` (threading HTTP server + scheduler + artifact store)
+boots on an ephemeral port and must show:
+
+* **dedup** — 8 identical concurrent eagle-tier placement requests
+  trigger exactly **one** underlying placement computation; the other 7
+  coalesce onto the in-flight job (or hit the artifact store);
+* **bit-identity** — the service's evaluate artifact equals a direct
+  :func:`~repro.analysis.experiments.run_full_evaluation` converted
+  with the shared :func:`~repro.analysis.experiments.
+  evaluation_payload` (floats compared after a JSON round-trip, which
+  is lossless);
+* **throughput** — >= :data:`MIN_CACHE_HIT_RPS` cache-hit requests/sec
+  sustained through the HTTP path once the artifact exists.
+
+Machine-readable JSON goes to ``benchmarks/results/perf_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from typing import Dict, List
+
+from repro.analysis.experiments import (_effective_config,
+                                        evaluation_payload,
+                                        run_full_evaluation)
+from repro.analysis.runner import ParallelRunner
+from repro.core import PlacerConfig
+from repro.service import PlacementService, ServiceClient
+
+from conftest import FULL, emit
+
+#: Required sustained cache-hit request rate through HTTP (gate).
+MIN_CACHE_HIT_RPS = 50.0
+
+#: Identical concurrent placement submissions in the dedup gate.
+CONCURRENT_CLIENTS = 8
+
+#: Fast-but-real placer settings: the dedup and throughput gates are
+#: about the service layer, not placement quality, so the eagle-tier
+#: computation is kept to ~1-2 s.
+FAST_CONFIG: Dict[str, object] = {
+    "max_iterations": 60, "min_iterations": 10, "num_bins": 32,
+}
+
+#: The dedup gate's request: one eagle-tier placement.
+EAGLE_PLACE_REQUEST: Dict[str, object] = {
+    "topology": "eagle-127",
+    "strategies": ["qplacer"],
+    "config": FAST_CONFIG,
+    "include_layouts": False,
+}
+
+#: Bit-identity instance (kept paper-small so the bench stays in CI
+#: budget; every float of the nested payload must match).
+EVALUATE_TOPOLOGIES = ("grid-25", "falcon-27") if FULL else ("grid-25",)
+EVALUATE_BENCHMARKS = ("bv-4", "qgan-4", "ising-4")
+EVALUATE_MAPPINGS = 6 if FULL else 3
+
+#: Cache-hit requests issued in the throughput measurement.
+THROUGHPUT_REQUESTS = 400 if FULL else 200
+THROUGHPUT_THREADS = 4
+
+
+def _dedup_gate(client: ServiceClient,
+                service: PlacementService) -> Dict[str, object]:
+    """8 identical concurrent placement submits -> 1 computation."""
+    barrier = threading.Barrier(CONCURRENT_CLIENTS)
+    records: List[Dict[str, object]] = []
+    lock = threading.Lock()
+
+    def submit() -> None:
+        barrier.wait()
+        record = client.submit("place", EAGLE_PLACE_REQUEST)
+        with lock:
+            records.append(record)
+
+    threads = [threading.Thread(target=submit)
+               for _ in range(CONCURRENT_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    submitted_s = time.perf_counter() - start
+    job_ids = sorted({r["job_id"] for r in records})
+    final = client.wait(job_ids[0], timeout=600)
+    for job_id in job_ids[1:]:
+        client.wait(job_id, timeout=600)
+    dispositions = sorted(r["disposition"] for r in records)
+    result = client.artifact(final["artifact"])["result"]
+    return {
+        "concurrent_clients": CONCURRENT_CLIENTS,
+        "dispositions": dispositions,
+        "unique_jobs": len(job_ids),
+        "computations": len(service.scheduler.computed_digests),
+        "submit_wall_s": round(submitted_s, 4),
+        "compute_s": round(
+            client.artifact(final["artifact"])["metadata"]["compute_s"], 3),
+        "ph_percent": result["strategies"]["qplacer"]["metrics"][
+            "ph_percent"],
+    }
+
+
+def _bit_identity_gate(client: ServiceClient) -> Dict[str, object]:
+    """Service evaluate artifact == direct run_full_evaluation payload."""
+    request = {
+        "topologies": list(EVALUATE_TOPOLOGIES),
+        "benchmarks": list(EVALUATE_BENCHMARKS),
+        "num_mappings": EVALUATE_MAPPINGS,
+        "seed": 0,
+        "config": FAST_CONFIG,
+    }
+    start = time.perf_counter()
+    via_service = client.run("evaluate", request, timeout=1800)
+    service_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    direct = evaluation_payload(run_full_evaluation(
+        topology_names=EVALUATE_TOPOLOGIES,
+        benchmarks=EVALUATE_BENCHMARKS,
+        num_mappings=EVALUATE_MAPPINGS,
+        config=_effective_config(PlacerConfig(**FAST_CONFIG), 0, 0.3),
+        runner=ParallelRunner(max_workers=1)))
+    direct_s = time.perf_counter() - start
+    direct_round_tripped = json.loads(json.dumps(direct))
+    return {
+        "topologies": list(EVALUATE_TOPOLOGIES),
+        "benchmarks": list(EVALUATE_BENCHMARKS),
+        "num_mappings": EVALUATE_MAPPINGS,
+        "identical": via_service == direct_round_tripped,
+        "service_s": round(service_s, 3),
+        "direct_s": round(direct_s, 3),
+    }
+
+
+def _throughput_gate(client: ServiceClient,
+                     service: PlacementService) -> Dict[str, object]:
+    """Sustained cache-hit submissions through the HTTP path."""
+    # Warm: the artifact exists after the dedup gate; one probe confirms.
+    probe = client.submit("place", EAGLE_PLACE_REQUEST)
+    assert probe["disposition"] == "cache_hit", probe["disposition"]
+
+    computed_before = len(service.scheduler.computed_digests)
+    per_thread = THROUGHPUT_REQUESTS // THROUGHPUT_THREADS
+    errors: List[str] = []
+
+    def hammer() -> None:
+        local = ServiceClient(client.base_url, timeout=30.0)
+        for _ in range(per_thread):
+            record = local.submit("place", EAGLE_PLACE_REQUEST)
+            if record["disposition"] != "cache_hit":
+                errors.append(record["disposition"])
+
+    threads = [threading.Thread(target=hammer)
+               for _ in range(THROUGHPUT_THREADS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    total = per_thread * THROUGHPUT_THREADS
+    return {
+        "requests": total,
+        "threads": THROUGHPUT_THREADS,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(total / elapsed, 1),
+        "non_cache_hits": len(errors),
+        "extra_computations":
+            len(service.scheduler.computed_digests) - computed_before,
+    }
+
+
+def test_perf_service(results_dir, tmp_path):
+    with PlacementService(store_dir=tmp_path / "store", port=0, workers=2,
+                          runner_workers=1) as service:
+        client = ServiceClient(service.base_url, timeout=60.0)
+        report: Dict[str, object] = {
+            "bench": "perf_service",
+            "mode": "full" if FULL else "smoke",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "min_cache_hit_rps": MIN_CACHE_HIT_RPS,
+            "dedup": _dedup_gate(client, service),
+            "bit_identity": _bit_identity_gate(client),
+            "throughput": _throughput_gate(client, service),
+        }
+        report["metrics"] = {
+            key: value for key, value in client.metrics().items()
+            if key in ("coalesced", "completed", "computations",
+                       "queue_depth", "artifact_hits", "jobs_total")}
+
+    text = json.dumps(report, indent=2)
+    emit(results_dir, "perf_service", text)
+    (results_dir / "perf_service.json").write_text(text + "\n")
+
+    # -- gates ----------------------------------------------------------
+    dedup = report["dedup"]
+    assert dedup["computations"] == 1, \
+        (f"{CONCURRENT_CLIENTS} identical concurrent requests caused "
+         f"{dedup['computations']} placement computations (want 1)")
+    assert dedup["unique_jobs"] == 1, \
+        f"coalescing produced {dedup['unique_jobs']} job ids (want 1)"
+    assert dedup["dispositions"].count("queued") == 1
+    assert all(d in ("queued", "coalesced", "cache_hit")
+               for d in dedup["dispositions"])
+
+    identity = report["bit_identity"]
+    assert identity["identical"], \
+        "service evaluate artifact differs from direct run_full_evaluation"
+
+    throughput = report["throughput"]
+    assert throughput["non_cache_hits"] == 0
+    assert throughput["extra_computations"] == 0
+    assert throughput["requests_per_s"] >= MIN_CACHE_HIT_RPS, \
+        (f"cache-hit throughput {throughput['requests_per_s']} req/s "
+         f"< {MIN_CACHE_HIT_RPS} req/s")

@@ -479,3 +479,159 @@ def run_full_evaluation(topology_names: Sequence[str] = PAPER_TOPOLOGY_ORDER,
     ]
     results = runner.map(run_topology_evaluation, jobs, namespace="evaluation")
     return dict(zip(topology_names, results))
+
+
+# ---------------------------------------------------------------------------
+# Service entry points — request-shaped pipelines with JSON-able payloads
+# ---------------------------------------------------------------------------
+#
+# The placement service (:mod:`repro.service`) executes validated
+# requests through these functions.  Each takes exactly the fields of
+# its request dataclass plus a runner, reuses the job pipelines above,
+# and returns a plain-JSON payload — the artifact the store persists
+# and the HTTP API serves.  The evaluate payload is *value-identical*
+# to converting a direct :func:`run_full_evaluation` with
+# :func:`evaluation_payload` (the service bench's bit-identity gate).
+
+def _effective_config(config: Optional[PlacerConfig], seed: int,
+                      segment_size_mm: float) -> PlacerConfig:
+    """One rule for folding (config, seed, lb) request fields together."""
+    from dataclasses import replace
+
+    base = config if config is not None else PlacerConfig()
+    return replace(base.with_segment_size(segment_size_mm), seed=seed)
+
+
+def placement_payload(suite: PlacementSuite, segment_size_mm: float,
+                      include_layouts: bool = True) -> Dict[str, object]:
+    """JSON-able summary (and optionally layouts) of a placed suite."""
+    from dataclasses import asdict
+
+    from ..io.serialization import layout_to_dict
+
+    strategies: Dict[str, object] = {}
+    for name, layout in suite.layouts.items():
+        metrics = compute_layout_metrics(layout)
+        entry: Dict[str, object] = {"metrics": asdict(metrics)}
+        result = suite.results.get(name)
+        if result is not None:
+            entry["num_cells"] = result.num_cells
+            entry["iterations"] = result.iterations
+            entry["runtime_s"] = result.runtime_s
+        if include_layouts:
+            entry["layout"] = layout_to_dict(layout, segment_size_mm)
+        strategies[name] = entry
+    return {"topology": suite.topology.name,
+            "segment_size_mm": segment_size_mm,
+            "strategies": strategies}
+
+
+def evaluation_payload(results: Dict[str, Dict[str, object]]
+                       ) -> Dict[str, object]:
+    """JSON-able form of a :func:`run_full_evaluation` result.
+
+    Summary rows become field dicts; everything else already is plain
+    data.  Shared by the direct pipeline and the service executor so
+    "service result == direct result" is a dict comparison.
+    """
+    from dataclasses import asdict
+
+    payload: Dict[str, object] = {}
+    for topology, entry in results.items():
+        payload[topology] = {
+            "fidelity": entry["fidelity"],
+            "summary": [asdict(row) for row in entry["summary"]],
+            "area_ratio": entry["area_ratio"],
+        }
+    return payload
+
+
+def run_place_request(topology: str, segment_size_mm: float,
+                      strategies: Sequence[str], seed: int,
+                      config: Optional[PlacerConfig],
+                      include_layouts: bool,
+                      runner: "ParallelRunner") -> Dict[str, object]:
+    """Execute one service place request (a cached PlacementJob)."""
+    from .runner import PlacementJob
+
+    job = PlacementJob(topology=topology, segment_size_mm=segment_size_mm,
+                       strategies=tuple(strategies), config=config,
+                       seed=seed)
+    suite = runner.run_suites([job])[0]
+    return placement_payload(suite, segment_size_mm,
+                             include_layouts=include_layouts)
+
+
+def run_fidelity_request(topology: str, workloads: Sequence[str],
+                         num_mappings: int, base_seed: int,
+                         strategies: Sequence[str], segment_size_mm: float,
+                         seed: int, config: Optional[PlacerConfig],
+                         runner: "ParallelRunner",
+                         shard_count: Optional[int] = None
+                         ) -> Dict[str, object]:
+    """Execute one service fidelity request (sharded over the runner)."""
+    fidelity = sharded_fidelity_experiment(
+        topology, workloads=tuple(workloads), shard_count=shard_count,
+        num_mappings=num_mappings, base_seed=base_seed,
+        segment_size_mm=segment_size_mm, strategies=tuple(strategies),
+        config=_effective_config(config, seed, segment_size_mm),
+        runner=runner)
+    return {"topology": topology, "workloads": list(workloads),
+            "num_mappings": num_mappings, "base_seed": base_seed,
+            "fidelity": fidelity}
+
+
+def run_map_request(benchmark: str, topology: str, num_mappings: int,
+                    base_seed: int, router: str, optimization_level: int,
+                    runner: "ParallelRunner",
+                    chunk_size: Optional[int] = None) -> Dict[str, object]:
+    """Execute one service map request.
+
+    With a ``chunk_size`` option the batch fans across the runner as
+    composable seed-range :class:`~repro.analysis.runner.MappingJob`
+    chunks (identical output, shared cache namespace); otherwise it is
+    one cached whole-batch job.  The payload is the JSON-able
+    per-mapping summary — the heavyweight mapped circuits stay in the
+    runner's pickle cache for fidelity studies to reuse.
+    """
+    from .runner import MappingJob, run_mapping_job, run_mapping_job_sharded
+
+    job = MappingJob(benchmark=benchmark, topology=topology,
+                     num_mappings=num_mappings, base_seed=base_seed,
+                     router=router, optimization_level=optimization_level)
+    if chunk_size is not None:
+        mappings = run_mapping_job_sharded(job, runner,
+                                           chunk_size=chunk_size)
+    else:
+        mappings = runner.map(run_mapping_job, [job],
+                              namespace="mappings")[0]
+    rows = []
+    for k, mapped in enumerate(mappings):
+        n_single, n_two = mapped.timed_gate_totals()
+        rows.append({
+            "seed": base_seed + k,
+            "swap_count": mapped.swap_count,
+            "duration_ns": mapped.duration_ns,
+            "active_qubits": len(mapped.active_qubits),
+            "two_qubit_gates": n_two,
+            "timed_single_qubit_gates": n_single,
+        })
+    return {"benchmark": benchmark, "topology": topology,
+            "router": router, "optimization_level": optimization_level,
+            "num_mappings": num_mappings, "base_seed": base_seed,
+            "total_swaps": sum(r["swap_count"] for r in rows),
+            "mappings": rows}
+
+
+def run_evaluate_request(topologies: Sequence[str],
+                         benchmarks: Sequence[str], num_mappings: int,
+                         segment_size_mm: float, seed: int,
+                         config: Optional[PlacerConfig],
+                         runner: "ParallelRunner") -> Dict[str, object]:
+    """Execute one service evaluate request (the whole-paper pipeline)."""
+    results = run_full_evaluation(
+        topology_names=tuple(topologies), benchmarks=tuple(benchmarks),
+        num_mappings=num_mappings, segment_size_mm=segment_size_mm,
+        config=_effective_config(config, seed, segment_size_mm),
+        runner=runner)
+    return evaluation_payload(results)

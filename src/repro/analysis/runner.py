@@ -32,54 +32,48 @@ version whenever an algorithm change invalidates previous results.
 from __future__ import annotations
 
 import contextlib
-import dataclasses
 import functools
 import hashlib
-import json
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import constants
 from ..core.config import PlacerConfig
+from ..io.atomic import atomic_write_bytes
+from ..io.serialization import canonical_json
 
 #: Bump when placement/evaluation semantics change so stale cached
-#: results are never returned.
+#: results are never returned.  The version is hashed into every runner
+#: job token *and* every service artifact digest
+#: (:mod:`repro.service.store`), so one bump invalidates both layers.
 #: 2: interaction-backend config fields; condor topologies; mapping jobs.
 #: 3: mapping-protocol fixes — fixed subset start-node cycling and
 #:    canonical shortest-path tie-breaking change every MappingJob
 #:    batch (and everything downstream of evaluation_mappings).
-CACHE_SCHEMA_VERSION = 3
+#: 4: MappedCircuit grew columnar gate arrays (pickled mapping payloads
+#:    changed shape; fidelity numbers are unchanged).
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
 
-def _canonical(obj: Any) -> Any:
-    """JSON-serialisable canonical form of a job field."""
-    if isinstance(obj, PlacerConfig):
-        return {"__config__": dataclasses.asdict(obj)}
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {"__dataclass__": type(obj).__name__,
-                "fields": _canonical(dataclasses.asdict(obj))}
-    if isinstance(obj, dict):
-        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
-    if isinstance(obj, (list, tuple)):
-        return [_canonical(v) for v in obj]
-    if isinstance(obj, (str, int, float, bool)) or obj is None:
-        return obj
-    raise TypeError(f"cannot canonicalise {type(obj).__name__} for cache key")
-
-
 def job_token(job: Any, namespace: str = "") -> str:
-    """Stable sha256 token of a job description (cache key)."""
-    payload = json.dumps(
+    """Stable sha256 token of a job description (cache key).
+
+    Built on the repo-wide canonical JSON encoding
+    (:func:`repro.io.serialization.canonicalize`) — the same primitive
+    the service artifact store digests requests with — plus the cache
+    namespace and :data:`CACHE_SCHEMA_VERSION`.
+    """
+    payload = canonical_json(
         {"schema": CACHE_SCHEMA_VERSION, "namespace": namespace,
-         "job": _canonical(job)},
-        sort_keys=True, separators=(",", ":"))
+         "job": job})
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -232,6 +226,53 @@ def run_mapping_job(job: MappingJob):
         router=job.router, optimization_level=job.optimization_level)
 
 
+def split_mapping_job(job: MappingJob,
+                      chunk_size: int) -> List[MappingJob]:
+    """Split one mapping batch into composable seed-range chunks.
+
+    A :class:`MappingJob` is an independent function of each subset
+    seed, so the batch ``base_seed .. base_seed + num_mappings - 1``
+    partitions into contiguous sub-batches that are themselves valid
+    jobs — chunk ``k`` covers ``base_seed + k*chunk_size`` onward.  The
+    chunks carry their own cache tokens, so one huge benchmark can fan
+    across workers (or machines) and re-runs with the same chunk
+    boundaries replay from the cache; concatenating the chunk results
+    in order is exactly the unsplit batch (pinned by
+    ``tests/analysis/test_mapping_cache.py``).
+
+    Raises:
+        ValueError: on a non-positive chunk size.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunks = []
+    done = 0
+    while done < job.num_mappings:
+        take = min(chunk_size, job.num_mappings - done)
+        chunks.append(replace(job, base_seed=job.base_seed + done,
+                              num_mappings=take))
+        done += take
+    return chunks
+
+
+def run_mapping_job_sharded(job: MappingJob, runner: "ParallelRunner",
+                            chunk_size: Optional[int] = None) -> List[Any]:
+    """Fan one mapping batch across the runner as seed-range chunks.
+
+    With ``chunk_size=None`` the batch splits evenly over the runner's
+    workers (one chunk per worker, at least 1 seed each).  Chunks share
+    the ``"mappings"`` cache namespace with whole-batch
+    :class:`MappingJob` units, so a chunked run and an unchunked run
+    each replay from their own tokens while producing identical
+    mappings.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, -(-job.num_mappings // runner.max_workers))
+    chunks = split_mapping_job(job, chunk_size)
+    batches = runner.map(run_mapping_job, chunks, namespace="mappings")
+    return [mapped for batch in batches for mapped in batch]
+
+
 @dataclass(frozen=True)
 class WorkloadShardJob:
     """One shard of a wide-workload fidelity evaluation.
@@ -327,6 +368,14 @@ class ParallelRunner:
             are unset.
     """
 
+    #: Process-wide reference count guarding the ``$REPRO_CACHE_DIR``
+    #: publication of :meth:`_cache_env` — the service's scheduler
+    #: threads drive one shared runner concurrently, so save/restore
+    #: must nest instead of racing.
+    _env_lock = threading.Lock()
+    _env_depth = 0
+    _env_previous: Optional[str] = None
+
     def __init__(self, max_workers: Optional[int] = None,
                  cache_dir: Optional[os.PathLike] = None) -> None:
         if max_workers is None:
@@ -340,6 +389,7 @@ class ParallelRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.cache_hits = 0
         self.cache_misses = 0
+        self._stats_lock = threading.Lock()
 
     # -- cache -----------------------------------------------------------------
 
@@ -370,31 +420,52 @@ class ParallelRunner:
         (CLI ``--cache-dir``) transitive without threading it through
         every job description (cache keys must not depend on cache
         location).
+
+        Concurrent ``map`` calls (the service scheduler's worker
+        threads share one runner) nest through a process-wide reference
+        count: the first entry saves the previous value, the last exit
+        restores it, so one thread's exit can never unset the variable
+        while another thread's jobs are still computing.  Runners with
+        *different* cache directories racing this guard last-write-win
+        on the value — the service always shares one directory.
         """
         if self.cache_dir is None:
             yield
             return
-        previous = os.environ.get(CACHE_ENV_VAR)
-        os.environ[CACHE_ENV_VAR] = str(self.cache_dir)
+        cls = ParallelRunner
+        with cls._env_lock:
+            if cls._env_depth == 0:
+                cls._env_previous = os.environ.get(CACHE_ENV_VAR)
+            cls._env_depth += 1
+            os.environ[CACHE_ENV_VAR] = str(self.cache_dir)
         try:
             yield
         finally:
-            if previous is None:
-                os.environ.pop(CACHE_ENV_VAR, None)
-            else:
-                os.environ[CACHE_ENV_VAR] = previous
+            with cls._env_lock:
+                cls._env_depth -= 1
+                if cls._env_depth == 0:
+                    if cls._env_previous is None:
+                        os.environ.pop(CACHE_ENV_VAR, None)
+                    else:
+                        os.environ[CACHE_ENV_VAR] = cls._env_previous
 
     def _cache_store(self, path: Optional[Path], value: Any) -> None:
+        """Persist one entry; losing a write race is never fatal.
+
+        Goes through :func:`repro.io.atomic.atomic_write_bytes` — temp
+        names are unique per process *and thread*, so the service's
+        threaded scheduler workers racing on one token can no longer
+        interleave writes into a shared temp file (the old per-pid temp
+        name allowed exactly that), and readers only ever see complete
+        entries.
+        """
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+            atomic_write_bytes(
+                path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
         except Exception:
-            tmp.unlink(missing_ok=True)
+            pass
 
     # -- execution --------------------------------------------------------------
 
@@ -420,10 +491,12 @@ class ParallelRunner:
                 path = self._cache_path(namespace, job_token(job, namespace))
                 hit, value = self._cache_load(path)
                 if hit:
-                    self.cache_hits += 1
+                    with self._stats_lock:
+                        self.cache_hits += 1
                     results[k] = value
                     continue
-                self.cache_misses += 1
+                with self._stats_lock:
+                    self.cache_misses += 1
             paths[k] = path
             pending.append(k)
 

@@ -29,8 +29,9 @@ containing barriers fall back to the legacy path.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
@@ -211,6 +212,71 @@ class ArrayCircuit:
         return Schedule(total_ns=total,
                         busy_ns={q: busy[q] for q in range(self.num_qubits)
                                  if used[q]})
+
+    # -- gate statistics (bincount over columns) ----------------------------
+    #
+    # Column restatements of the ``QuantumCircuit`` per-gate scans, so
+    # fidelity-model consumers of a mapped circuit never materialise
+    # ``Gate`` lists (ROADMAP open item).  Each is value-identical to
+    # the loop version on the decoded circuit (barrier-free by
+    # construction), pinned by ``tests/circuits/test_gate_counts.py``.
+
+    def used_qubits(self) -> Set[int]:
+        """Qubits touched by at least one gate (= active qubits)."""
+        touched = np.zeros(self.num_qubits, dtype=bool)
+        touched[self.q0] = True
+        touched[self.q1[self.q1 >= 0]] = True
+        return set(np.nonzero(touched)[0].tolist())
+
+    def used_pairs(self) -> Set[Tuple[int, int]]:
+        """Canonical ``(lo, hi)`` pairs touched by two-qubit gates."""
+        two = self.q1 >= 0
+        a = self.q0[two]
+        b = self.q1[two]
+        keys = np.unique(np.minimum(a, b) * self.num_qubits
+                         + np.maximum(a, b))
+        n = self.num_qubits
+        return {(int(k) // n, int(k) % n) for k in keys.tolist()}
+
+    def two_qubit_counts(self) -> Dict[Tuple[int, int], int]:
+        """Number of two-qubit gates per canonical qubit pair."""
+        two = self.q1 >= 0
+        a = self.q0[two]
+        b = self.q1[two]
+        keys, counts = np.unique(np.minimum(a, b) * self.num_qubits
+                                 + np.maximum(a, b), return_counts=True)
+        n = self.num_qubits
+        return {(int(k) // n, int(k) % n): int(c)
+                for k, c in zip(keys.tolist(), counts.tolist())}
+
+    def single_qubit_counts(self) -> Dict[int, int]:
+        """Timed single-qubit gates (sx/x) per qubit; virtual rz excluded."""
+        timed = (self.codes == SX) | (self.codes == X)
+        counts = np.bincount(self.q0[timed], minlength=self.num_qubits)
+        return {q: int(c) for q, c in enumerate(counts.tolist()) if c}
+
+    def timed_gate_totals(self) -> Tuple[int, int]:
+        """``(timed single-qubit gates, two-qubit gates)`` in one pass.
+
+        Exactly ``(sum(single_qubit_counts().values()),
+        sum(two_qubit_counts().values()))`` — the quantities the gate
+        factor of Eq. 15 needs.
+        """
+        timed = (self.codes == SX) | (self.codes == X)
+        return int(timed.sum()), int((self.q1 >= 0).sum())
+
+    def gate_counts_per_qubit(self) -> Dict[int, Counter]:
+        """Per-qubit histogram of gate names (both qubits of 2q gates)."""
+        ncodes = len(NAME_OF)
+        two = self.q1 >= 0
+        keys, counts = np.unique(
+            np.concatenate((self.q0 * ncodes + self.codes,
+                            self.q1[two] * ncodes + self.codes[two])),
+            return_counts=True)
+        out: Dict[int, Counter] = {}
+        for k, c in zip(keys.tolist(), counts.tolist()):
+            out.setdefault(k // ncodes, Counter())[NAME_OF[k % ncodes]] = c
+        return out
 
 
 # -- lowering templates --------------------------------------------------------

@@ -75,6 +75,12 @@ class MappedCircuit:
         final_mapping: logical -> physical assignment after routing.
         swap_count: Number of SWAPs inserted by the router.
         schedule: ASAP schedule of the physical circuit.
+        physical_arrays: The same physical circuit as column arrays.
+            When present (every :func:`map_circuit` product), the gate
+            statistics below are bincount scans over the columns
+            instead of ``Gate``-list loops — value-identical, pinned by
+            ``tests/circuits/test_gate_counts.py``.  ``None`` only for
+            hand-built instances (e.g. reference-pipeline comparisons).
     """
 
     physical_circuit: QuantumCircuit
@@ -83,15 +89,20 @@ class MappedCircuit:
     final_mapping: Dict[int, int]
     swap_count: int
     schedule: Schedule
+    physical_arrays: Optional[ArrayCircuit] = None
 
     @property
     def active_qubits(self) -> Set[int]:
         """Physical qubits touched by at least one gate."""
+        if self.physical_arrays is not None:
+            return self.physical_arrays.used_qubits()
         return self.physical_circuit.used_qubits()
 
     @property
     def active_edges(self) -> Set[Edge]:
         """Physical coupler edges used by two-qubit gates."""
+        if self.physical_arrays is not None:
+            return self.physical_arrays.used_pairs()
         return self.physical_circuit.used_pairs()
 
     @property
@@ -101,6 +112,8 @@ class MappedCircuit:
 
     def two_qubit_counts(self) -> Dict[Edge, int]:
         """Number of two-qubit gates per physical coupler."""
+        if self.physical_arrays is not None:
+            return self.physical_arrays.two_qubit_counts()
         counts: Counter = Counter()
         for g in self.physical_circuit.gates:
             if g.is_two_qubit:
@@ -113,11 +126,24 @@ class MappedCircuit:
 
         Virtual rz gates are free and excluded.
         """
+        if self.physical_arrays is not None:
+            return self.physical_arrays.single_qubit_counts()
         counts: Counter = Counter()
         for g in self.physical_circuit.gates:
             if g.name in ("sx", "x"):
                 counts[g.qubits[0]] += 1
         return dict(counts)
+
+    def timed_gate_totals(self) -> Tuple[int, int]:
+        """``(timed single-qubit gates, two-qubit gates)`` totals.
+
+        The Eq. 15 gate-factor inputs, without building the per-qubit
+        and per-edge dicts when only the sums are needed.
+        """
+        if self.physical_arrays is not None:
+            return self.physical_arrays.timed_gate_totals()
+        return (sum(self.single_qubit_counts().values()),
+                sum(self.two_qubit_counts().values()))
 
 
 @functools.lru_cache(maxsize=None)
@@ -466,6 +492,7 @@ def map_circuit(circuit: QuantumCircuit, topology: Topology,
         final_mapping=final_mapping,
         swap_count=swap_count,
         schedule=basis_arrays.asap_schedule(),
+        physical_arrays=basis_arrays,
     )
 
 

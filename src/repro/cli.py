@@ -17,6 +17,9 @@ Commands:
   suite (``--shard-index/--shard-count`` is the cross-machine
   contract; omit the index to fan every shard over the local pool)
 * ``workloads merge`` — merge per-shard JSON results
+* ``serve``     — placement-as-a-service: HTTP API + job queue +
+  content-addressed artifact store over the whole pipeline
+  (``docs/service.md``)
 """
 
 from __future__ import annotations
@@ -401,6 +404,33 @@ def cmd_workloads_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .analysis.runner import CACHE_ENV_VAR
+    from .service import PlacementService
+
+    # Honour the documented --cache-dir fallback chain: explicit flag,
+    # then $REPRO_CACHE_DIR, then the service default
+    # (<store-dir>/runner-cache).
+    cache_dir = args.cache_dir or os.environ.get(CACHE_ENV_VAR) or None
+    service = PlacementService(
+        store_dir=args.store_dir, host=args.host, port=args.port,
+        workers=args.workers, runner_workers=args.jobs,
+        cache_dir=cache_dir, verbose=args.verbose)
+    service.start()
+    print(f"repro service listening on {service.base_url} "
+          f"(store: {service.store.root}, workers: {args.workers})",
+          flush=True)
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        pass
+    service.stop()
+    print("repro service stopped", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -513,6 +543,24 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("shards", nargs="+", help="shard JSON files")
     w.add_argument("--json", help="write the merged table to this path")
     w.set_defaults(func=cmd_workloads_merge)
+
+    p = sub.add_parser("serve",
+                       help="run the placement service (HTTP API + job "
+                            "queue + artifact store)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8754,
+                   help="bind port (default 8754; 0 picks a free port)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="scheduler worker threads — concurrent distinct "
+                        "jobs (default 2)")
+    p.add_argument("--store-dir", default="repro-service-data",
+                   help="artifact store directory "
+                        "(default ./repro-service-data)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

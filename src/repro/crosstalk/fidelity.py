@@ -211,8 +211,9 @@ def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
     active_resonators = _active_resonator_indices(layout, active_edges)
 
     # --- gate errors -----------------------------------------------------
-    n_single = sum(mapped.single_qubit_counts().values())
-    n_two = sum(mapped.two_qubit_counts().values())
+    # Columnar totals when the mapping pipeline kept its arrays: no
+    # Gate-list scan, no per-qubit/per-edge dicts (identical sums).
+    n_single, n_two = mapped.timed_gate_totals()
     gate_factor = ((1.0 - params.single_qubit_gate_error) ** n_single
                    * (1.0 - params.two_qubit_gate_error) ** n_two)
 

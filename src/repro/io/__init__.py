@@ -1,7 +1,10 @@
-"""Layout serialisation and export (JSON, SVG, GDSII)."""
+"""Layout serialisation and export (JSON, SVG, GDSII), atomic writes."""
 
+from .atomic import atomic_write_bytes, atomic_write_text
 from .gds import layout_to_gds_bytes, parse_gds_records, save_gds
 from .serialization import (
+    canonical_json,
+    canonicalize,
     layout_from_dict,
     layout_to_dict,
     load_layout,
@@ -12,6 +15,10 @@ from .serialization import (
 from .svg import frequency_color, layout_to_svg, save_svg
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "canonical_json",
+    "canonicalize",
     "frequency_color",
     "layout_from_dict",
     "layout_to_dict",

@@ -1,15 +1,25 @@
-"""Layout and frequency-plan JSON round-trips.
+"""Layout and frequency-plan JSON round-trips, plus canonical JSON.
 
 Layouts are stored with their topology name, segment size, strategy,
 frequency plan, and instance positions; loading rebuilds the netlist and
 placement problem deterministically and re-attaches the positions.
+
+This module also owns the repo's **canonical JSON** encoding
+(:func:`canonicalize` / :func:`canonical_json`): the single
+deterministic serialisation that every content-addressed cache key is
+computed over — the parallel runner's job tokens
+(:func:`repro.analysis.runner.job_token`) and the service artifact
+store's request digests (:mod:`repro.service.store`).  Two values
+canonicalise identically iff they describe the same work, so equal
+digests may safely share one cached result.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
@@ -21,6 +31,47 @@ from ..devices.netlist import build_netlist
 from ..devices.topology import get_topology
 
 PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Canonical JSON — the shared digest encoding
+# ---------------------------------------------------------------------------
+
+def canonicalize(obj: Any) -> Any:
+    """JSON-serialisable canonical form of a cache-key field.
+
+    Rules (the request-canonicalisation contract of ``docs/service.md``):
+
+    * :class:`~repro.core.config.PlacerConfig` values are tagged
+      ``{"__config__": <fields>}`` so a config can never collide with a
+      plain dict of the same shape;
+    * other dataclasses are tagged with their type name and recursively
+      canonicalised field dicts;
+    * dict keys are stringified and sorted, tuples become lists;
+    * only JSON scalars survive unchanged.
+
+    Raises:
+        TypeError: for values with no canonical form (ndarray, set, ...)
+            — cache keys must be built from primitives on purpose.
+    """
+    if isinstance(obj, PlacerConfig):
+        return {"__config__": canonicalize(dataclasses.asdict(obj))}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__,
+                "fields": canonicalize(dataclasses.asdict(obj))}
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for cache key")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic compact JSON of :func:`canonicalize` output."""
+    return json.dumps(canonicalize(obj), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def plan_to_dict(plan: FrequencyPlan) -> Dict:

@@ -1,0 +1,184 @@
+"""Content-addressed artifact store for service results.
+
+Every service request canonicalises (:func:`repro.io.serialization.
+canonicalize`) into a stable **digest** — sha256 over the request kind,
+the normalised request fields, and
+:data:`~repro.analysis.runner.CACHE_SCHEMA_VERSION` — and the store
+maps digests to persisted results + metadata.  This is the same
+canonical-JSON/schema-version scheme the parallel runner's
+:func:`~repro.analysis.runner.job_token` pickle cache uses, lifted to
+whole requests: one schema bump invalidates both layers, and equal
+digests are the service's licence to dedupe (the queue coalesces
+in-flight digests; the store serves finished ones).
+
+Layout: ``<root>/objects/<digest[:2]>/<digest>.json``, one JSON
+document per artifact::
+
+    {"format": "repro.artifact.v1",
+     "digest": "...",
+     "metadata": {"kind": ..., "request": ..., "schema": ...,
+                  "created_at": ..., "compute_s": ...},
+     "result": <JSON-able result payload>}
+
+Results are stored as JSON (not pickle) so ``GET /artifacts/<digest>``
+can stream them verbatim and so float results survive bit-exactly
+(Python's JSON float round-trip is lossless).  Writes are atomic
+(:func:`repro.io.atomic.atomic_write_bytes`); torn or foreign files
+read as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..analysis import runner as _runner
+from ..io.atomic import atomic_write_bytes
+from ..io.serialization import canonical_json
+
+PathLike = Union[str, Path]
+
+#: On-disk artifact document format tag.
+ARTIFACT_FORMAT = "repro.artifact.v1"
+
+
+def request_digest(kind: str, request: Any) -> str:
+    """Stable content digest of a service request.
+
+    Covers the request kind, the canonicalised request fields, and the
+    live :data:`~repro.analysis.runner.CACHE_SCHEMA_VERSION` (read at
+    call time, so a version bump immediately re-keys every request).
+    """
+    payload = canonical_json(
+        {"schema": _runner.CACHE_SCHEMA_VERSION, "kind": kind,
+         "request": request})
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One stored artifact: digest, metadata, and the result payload."""
+
+    digest: str
+    metadata: Dict[str, Any]
+    result: Any
+
+    def to_document(self) -> Dict[str, Any]:
+        """The on-disk / over-the-wire JSON document."""
+        return {"format": ARTIFACT_FORMAT, "digest": self.digest,
+                "metadata": self.metadata, "result": self.result}
+
+
+class ArtifactStore:
+    """Digest-addressed persistence of request results.
+
+    Args:
+        root: Store directory (created on first write).
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self._stats_lock = threading.Lock()
+        #: Digests this process has validated (successful get) or
+        #: written (put) — lets hot-path callers skip re-parsing a
+        #: known-good artifact.  Bounded; validity still requires the
+        #: file to exist (callers pair this with :meth:`contains`).
+        self._validated: set = set()
+        self._max_validated = 65536
+
+    def path(self, digest: str) -> Path:
+        """On-disk location of one artifact document."""
+        return self.root / "objects" / digest[:2] / f"{digest}.json"
+
+    def digest_request(self, kind: str, request: Any) -> str:
+        """Alias of :func:`request_digest` (kept on the store for DI)."""
+        return request_digest(kind, request)
+
+    def get(self, digest: str) -> Optional[ArtifactRecord]:
+        """Load one artifact; ``None`` (a miss) when absent or torn."""
+        path = self.path(digest)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            with self._stats_lock:
+                self.misses += 1
+            return None
+        if (not isinstance(document, dict)
+                or document.get("format") != ARTIFACT_FORMAT
+                or document.get("digest") != digest):
+            with self._stats_lock:
+                self.misses += 1
+                self._validated.discard(digest)
+            return None
+        with self._stats_lock:
+            self.hits += 1
+            self._remember_locked(digest)
+        return ArtifactRecord(digest=digest,
+                              metadata=document.get("metadata", {}),
+                              result=document.get("result"))
+
+    def contains(self, digest: str) -> bool:
+        """Existence check without counting a hit/miss."""
+        return self.path(digest).exists()
+
+    def _remember_locked(self, digest: str) -> None:
+        if len(self._validated) >= self._max_validated:
+            self._validated.clear()  # cheap, refills on demand
+        self._validated.add(digest)
+
+    def note_hit(self) -> None:
+        """Count a hit served from the :meth:`remembers` fast path.
+
+        Callers that skip the validating read must still feed the
+        hit-rate metric, or a fully warm service would report a cold
+        cache.
+        """
+        with self._stats_lock:
+            self.hits += 1
+
+    def remembers(self, digest: str) -> bool:
+        """True when this process already validated/wrote the digest.
+
+        A positive answer spares callers the O(artifact-size) re-parse
+        of :meth:`get` on hot paths; pair it with :meth:`contains` so a
+        deleted file still reads as a miss.
+        """
+        with self._stats_lock:
+            return digest in self._validated
+
+    def put(self, digest: str, result: Any,
+            metadata: Optional[Dict[str, Any]] = None) -> ArtifactRecord:
+        """Persist one result atomically; racing writers never tear.
+
+        The result must be JSON-serialisable (executors return plain
+        payload dicts).  Metadata is stamped with the creation time and
+        the live schema version.
+        """
+        metadata = dict(metadata or {})
+        metadata.setdefault("schema", _runner.CACHE_SCHEMA_VERSION)
+        metadata.setdefault("created_at", time.time())
+        record = ArtifactRecord(digest=digest, metadata=metadata,
+                                result=result)
+        atomic_write_bytes(
+            self.path(digest),
+            json.dumps(record.to_document(),
+                       separators=(",", ":")).encode())
+        with self._stats_lock:
+            self._remember_locked(digest)
+        return record
+
+    def metrics(self) -> Dict[str, Any]:
+        """Hit/miss counters for ``GET /metrics``."""
+        total = self.hits + self.misses
+        return {
+            "artifact_hits": self.hits,
+            "artifact_misses": self.misses,
+            "artifact_hit_rate": (self.hits / total) if total else 0.0,
+        }

@@ -1,0 +1,171 @@
+"""Cache-directory contracts: atomic writes and schema invalidation.
+
+Two satellite guarantees of ISSUE 5:
+
+* concurrent writers racing on one cache entry go through a temp-file +
+  atomic-rename protocol (unique temp per process *and thread*), so
+  readers never observe a truncated/torn entry;
+* a cache populated at schema version N must *miss* — not crash, not
+  return stale data — after :data:`~repro.analysis.runner.
+  CACHE_SCHEMA_VERSION` is bumped, for both placement and mapping
+  artifacts.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.analysis import runner as runner_mod
+from repro.analysis.runner import (MappingJob, ParallelRunner, PlacementJob,
+                                   job_token, run_mapping_job,
+                                   run_placement_job)
+from repro.core import PlacerConfig
+from repro.io.atomic import atomic_write_bytes
+
+FAST = PlacerConfig(max_iterations=60, min_iterations=10, num_bins=32)
+
+
+class TestAtomicCacheWrites:
+    def test_concurrent_same_entry_writers_never_tear(self, tmp_path):
+        """Threads hammering one path leave a complete winner behind."""
+        path = tmp_path / "ns" / "entry.pkl"
+        payloads = [pickle.dumps({"writer": k, "blob": bytes(200_000)})
+                    for k in range(6)]
+        errors = []
+        stop = threading.Event()
+
+        def write(k):
+            try:
+                while not stop.is_set():
+                    atomic_write_bytes(path, payloads[k])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def read():
+            try:
+                while not stop.is_set():
+                    if path.exists():
+                        data = path.read_bytes()
+                        value = pickle.loads(data)  # torn file would raise
+                        assert data in payloads
+                        assert "blob" in value
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=write, args=(k,))
+                    for k in range(6)]
+                   + [threading.Thread(target=read) for _ in range(2)])
+        for t in threads:
+            t.start()
+        timer = threading.Timer(1.0, stop.set)
+        timer.start()
+        for t in threads:
+            t.join(timeout=30)
+        timer.cancel()
+        stop.set()
+        assert not errors
+        assert path.read_bytes() in payloads
+        leftovers = [p for p in path.parent.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_runner_store_goes_through_atomic_writer(self, tmp_path):
+        """_cache_store leaves no temp droppings and a loadable entry."""
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        job = MappingJob(benchmark="bv-4", topology="grid-25",
+                         num_mappings=2)
+        runner.map(run_mapping_job, [job], namespace="mappings")
+        entries = list(tmp_path.rglob("*.pkl"))
+        assert len(entries) == 1
+        pickle.loads(entries[0].read_bytes())
+        assert not [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+
+    def test_cache_env_refcounts_across_threads(self, tmp_path,
+                                                monkeypatch):
+        """A fast thread's exit must not unset the var under a slow one.
+
+        The service's scheduler threads drive one shared runner; the
+        ``$REPRO_CACHE_DIR`` publication is reference-counted so the
+        last exit restores, not the first.
+        """
+        import os
+        import time
+
+        from repro.analysis.runner import CACHE_ENV_VAR
+
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        barrier = threading.Barrier(2)
+        observed = []
+
+        def use(delay):
+            with runner._cache_env():
+                barrier.wait()
+                time.sleep(delay)
+                observed.append(os.environ.get(CACHE_ENV_VAR))
+
+        threads = [threading.Thread(target=use, args=(d,))
+                   for d in (0.0, 0.3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # the slow thread still saw the directory after the fast exit
+        assert observed == [str(tmp_path), str(tmp_path)]
+        assert CACHE_ENV_VAR not in os.environ  # last exit restored
+
+    def test_interrupted_write_preserves_previous_entry(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        atomic_write_bytes(path, b"old-complete-entry")
+
+        class Explodes:
+            def __reduce__(self):
+                raise RuntimeError("mid-serialisation failure")
+
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        runner._cache_store(path, Explodes())  # swallowed, non-fatal
+        assert path.read_bytes() == b"old-complete-entry"
+
+
+class TestSchemaVersionInvalidation:
+    def _bump(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "CACHE_SCHEMA_VERSION",
+                            runner_mod.CACHE_SCHEMA_VERSION + 1)
+
+    def test_placement_cache_misses_after_bump(self, tmp_path, monkeypatch):
+        job = PlacementJob(topology="grid-25", strategies=("qplacer",),
+                           config=FAST)
+        first = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        before = first.run_suites([job])[0]
+        assert first.cache_misses == 1
+
+        self._bump(monkeypatch)
+        after_runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        after = after_runner.run_suites([job])[0]
+        # clean miss and recompute: no crash, no stale read
+        assert after_runner.cache_hits == 0
+        assert after_runner.cache_misses == 1
+        assert (after.layouts["qplacer"].positions
+                == before.layouts["qplacer"].positions).all()
+
+    def test_mapping_cache_misses_after_bump(self, tmp_path, monkeypatch):
+        job = MappingJob(benchmark="bv-4", topology="grid-25",
+                         num_mappings=2)
+        first = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        first.map(run_mapping_job, [job], namespace="mappings")
+        assert first.cache_misses == 1
+
+        self._bump(monkeypatch)
+        again = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        again.map(run_mapping_job, [job], namespace="mappings")
+        assert again.cache_hits == 0 and again.cache_misses == 1
+        # both versions' entries now coexist under distinct tokens
+        assert len(list(tmp_path.rglob("*.pkl"))) == 2
+
+    def test_token_depends_on_live_version(self, monkeypatch):
+        job = PlacementJob(topology="grid-25")
+        before = job_token(job)
+        self._bump(monkeypatch)
+        assert job_token(job) != before

@@ -9,10 +9,20 @@ from repro.analysis.runner import (
     ParallelRunner,
     job_token,
     run_mapping_job,
+    run_mapping_job_sharded,
+    split_mapping_job,
 )
 from repro.circuits.library import get_benchmark
 from repro.circuits.mapping import evaluation_mappings
 from repro.devices.topology import get_topology
+
+
+def _mapped_equal(a, b):
+    return (a.physical_circuit.gates == b.physical_circuit.gates
+            and a.initial_mapping == b.initial_mapping
+            and a.final_mapping == b.final_mapping
+            and a.swap_count == b.swap_count
+            and a.schedule == b.schedule)
 
 
 class TestMappingJob:
@@ -58,6 +68,65 @@ class TestMappingJob:
         for a, b in zip(first, second):
             assert a.final_mapping == b.final_mapping
             assert a.swap_count == b.swap_count
+
+
+class TestSeedRangeSharding:
+    """MappingJob seed-range chunks compose into the whole batch."""
+
+    JOB = MappingJob(benchmark="bv-4", topology="grid-25",
+                     num_mappings=7, base_seed=3)
+
+    def test_split_covers_seed_range_exactly(self):
+        chunks = split_mapping_job(self.JOB, chunk_size=3)
+        assert [(c.base_seed, c.num_mappings) for c in chunks] == \
+            [(3, 3), (6, 3), (9, 1)]
+        # every non-seed field is inherited
+        assert all(c.benchmark == "bv-4" and c.topology == "grid-25"
+                   and c.router == "basic" for c in chunks)
+
+    def test_split_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            split_mapping_job(self.JOB, chunk_size=0)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 7, 50])
+    def test_chunked_identical_to_whole_batch(self, chunk_size):
+        whole = run_mapping_job(self.JOB)
+        chunked = run_mapping_job_sharded(
+            self.JOB, ParallelRunner(max_workers=1), chunk_size=chunk_size)
+        assert len(chunked) == len(whole) == 7
+        for a, b in zip(whole, chunked):
+            assert _mapped_equal(a, b)
+
+    def test_auto_chunking_splits_across_workers(self):
+        runner = ParallelRunner(max_workers=2)
+        chunked = run_mapping_job_sharded(self.JOB, runner)
+        whole = run_mapping_job(self.JOB)
+        for a, b in zip(whole, chunked):
+            assert _mapped_equal(a, b)
+
+    def test_chunks_replay_from_cache_and_compose(self, tmp_path):
+        """Partial batches cache independently and re-assemble."""
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        first = run_mapping_job_sharded(self.JOB, runner, chunk_size=3)
+        assert runner.cache_misses == 3  # one per chunk
+        replay = run_mapping_job_sharded(self.JOB, runner, chunk_size=3)
+        assert runner.cache_hits == 3
+        for a, b in zip(first, replay):
+            assert _mapped_equal(a, b)
+        # a later *larger* request reuses nothing but still matches
+        bigger = run_mapping_job_sharded(
+            MappingJob(benchmark="bv-4", topology="grid-25",
+                       num_mappings=9, base_seed=3),
+            runner, chunk_size=3)
+        for a, b in zip(first, bigger):
+            assert _mapped_equal(a, b)
+
+    def test_chunk_token_matches_equivalent_whole_job(self):
+        """A chunk IS a MappingJob: same token as the same-range batch."""
+        chunk = split_mapping_job(self.JOB, chunk_size=3)[1]
+        equivalent = MappingJob(benchmark="bv-4", topology="grid-25",
+                                num_mappings=3, base_seed=6)
+        assert job_token(chunk) == job_token(equivalent)
 
 
 class TestFidelityExperimentCache:

@@ -1,0 +1,143 @@
+"""Scheduler tests with stub executors (no placement work)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.runner import ParallelRunner
+from repro.service.queue import DONE, FAILED, JobQueue
+from repro.service.requests import parse_request
+from repro.service.scheduler import Scheduler
+from repro.service.store import ArtifactStore
+
+
+def _place(**extra):
+    return parse_request("place", {"topology": "grid-25", **extra})
+
+
+@pytest.fixture
+def stack(tmp_path):
+    store = ArtifactStore(tmp_path)
+    queue = JobQueue(store)
+    return store, queue
+
+
+def _scheduler(queue, store, executor, workers=2):
+    return Scheduler(queue, store, workers=workers,
+                     runner=ParallelRunner(max_workers=1),
+                     executors={"place": executor})
+
+
+class TestExecution:
+    def test_job_runs_persists_and_finishes(self, stack):
+        store, queue = stack
+        calls = []
+
+        def executor(request, ctx, job):
+            calls.append(request.topology)
+            return {"topology": request.topology}
+
+        scheduler = _scheduler(queue, store, executor)
+        scheduler.start()
+        try:
+            job, _ = queue.submit("place", _place())
+            deadline = time.time() + 5
+            while queue.get(job.job_id).state != DONE:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            record = store.get(job.digest)
+            assert record.result == {"topology": "grid-25"}
+            assert record.metadata["kind"] == "place"
+            assert record.metadata["compute_s"] >= 0
+            assert calls == ["grid-25"]
+            assert scheduler.computed_digests == [job.digest]
+        finally:
+            scheduler.stop()
+
+    def test_concurrent_identical_submits_compute_once(self, stack):
+        """The dedup gate: N submits of one digest -> one executor call."""
+        store, queue = stack
+        release = threading.Event()
+        calls = []
+
+        def executor(request, ctx, job):
+            calls.append(job.job_id)
+            release.wait(timeout=5)
+            return {"ok": True}
+
+        scheduler = _scheduler(queue, store, executor, workers=2)
+        scheduler.start()
+        try:
+            first, _ = queue.submit("place", _place())
+            deadline = time.time() + 5
+            while not calls:  # executor has claimed the job
+                assert time.time() < deadline
+                time.sleep(0.01)
+            records = [queue.submit("place", _place()) for _ in range(7)]
+            assert all(disp == "coalesced" for _, disp in records)
+            assert all(rec is first for rec, _ in records)
+            release.set()
+            while queue.get(first.job_id).state != DONE:
+                assert time.time() < deadline + 5
+                time.sleep(0.01)
+            assert len(calls) == 1
+            # after completion, the same request is a store cache hit
+            hit, disp = queue.submit("place", _place())
+            assert disp == "cache_hit" and hit.cache_hit
+            assert len(calls) == 1
+        finally:
+            release.set()
+            scheduler.stop()
+
+    def test_failure_records_traceback(self, stack):
+        store, queue = stack
+
+        def executor(request, ctx, job):
+            raise RuntimeError("synthetic executor failure")
+
+        scheduler = _scheduler(queue, store, executor)
+        scheduler.start()
+        try:
+            job, _ = queue.submit("place", _place())
+            deadline = time.time() + 5
+            while queue.get(job.job_id).state != FAILED:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            assert "synthetic executor failure" in job.error
+            assert not store.contains(job.digest)
+        finally:
+            scheduler.stop()
+
+    def test_unknown_kind_fails_cleanly(self, stack):
+        store, queue = stack
+        scheduler = _scheduler(queue, store, lambda *a: {})
+        scheduler.start()
+        try:
+            job, _ = queue.submit("mystery", _place())
+            deadline = time.time() + 5
+            while queue.get(job.job_id).state != FAILED:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            assert "no executor" in job.error
+        finally:
+            scheduler.stop()
+
+    def test_stop_joins_workers(self, stack):
+        store, queue = stack
+        scheduler = _scheduler(queue, store, lambda *a: {})
+        scheduler.start()
+        scheduler.stop()
+        assert scheduler.metrics()["busy_workers"] == 0
+        assert scheduler._threads == []
+
+    def test_metrics_shape(self, stack):
+        store, queue = stack
+        scheduler = _scheduler(queue, store, lambda *a: {})
+        metrics = scheduler.metrics()
+        assert metrics["workers"] == 2
+        assert metrics["busy_workers"] == 0
+        assert metrics["worker_utilization"] == 0.0
+        assert metrics["computations"] == 0

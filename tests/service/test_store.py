@@ -1,0 +1,159 @@
+"""Artifact-store tests: digests, round-trips, schema invalidation."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis import runner as runner_mod
+from repro.core import PlacerConfig
+from repro.service.requests import parse_request
+from repro.service.store import ArtifactStore, request_digest
+
+
+class TestRequestDigest:
+    def test_stable_across_calls(self):
+        req = parse_request("place", {"topology": "grid-25"})
+        assert request_digest("place", req) == request_digest("place", req)
+
+    def test_kind_in_digest(self):
+        req = parse_request("place", {"topology": "grid-25"})
+        assert request_digest("place", req) != request_digest("other", req)
+
+    def test_field_changes_digest(self):
+        a = parse_request("place", {"topology": "grid-25"})
+        b = parse_request("place", {"topology": "grid-25", "seed": 1})
+        assert request_digest("place", a) != request_digest("place", b)
+
+    def test_defaults_coalesce_with_explicit(self):
+        """An omitted field and its explicit default share one digest."""
+        a = parse_request("place", {"topology": "grid-25"})
+        b = parse_request("place", {"topology": "grid-25", "seed": 0,
+                                    "segment_size_mm": 0.3})
+        assert request_digest("place", a) == request_digest("place", b)
+
+    def test_suite_name_coalesces_with_explicit_list(self):
+        from repro.workloads import resolve_workload_names
+
+        a = parse_request("fidelity", {"topology": "grid-25",
+                                       "workloads": "paper-8"})
+        b = parse_request("fidelity", {
+            "topology": "grid-25",
+            "workloads": list(resolve_workload_names("paper-8"))})
+        assert request_digest("fidelity", a) == request_digest("fidelity", b)
+
+    def test_config_in_digest(self):
+        a = parse_request("place", {"topology": "grid-25",
+                                    "config": {"num_bins": 32}})
+        b = parse_request("place", {"topology": "grid-25",
+                                    "config": {"num_bins": 64}})
+        assert request_digest("place", a) != request_digest("place", b)
+
+    def test_schema_version_in_digest(self, monkeypatch):
+        req = parse_request("place", {"topology": "grid-25"})
+        before = request_digest("place", req)
+        monkeypatch.setattr(runner_mod, "CACHE_SCHEMA_VERSION",
+                            runner_mod.CACHE_SCHEMA_VERSION + 1)
+        assert request_digest("place", req) != before
+
+
+class TestArtifactStore:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "ab" * 32
+        store.put(digest, {"value": [1.5, 2.25]}, metadata={"kind": "test"})
+        record = store.get(digest)
+        assert record is not None
+        assert record.result == {"value": [1.5, 2.25]}
+        assert record.metadata["kind"] == "test"
+        assert record.metadata["schema"] == runner_mod.CACHE_SCHEMA_VERSION
+        assert store.hits == 1
+
+    def test_missing_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get("cd" * 32) is None
+        assert store.misses == 1
+        assert not store.contains("cd" * 32)
+
+    def test_torn_document_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "ef" * 32
+        store.put(digest, {"x": 1})
+        store.path(digest).write_text('{"format": "repro.artifact.v1", "di')
+        assert store.get(digest) is None
+
+    def test_wrong_digest_inside_document_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "12" * 32
+        store.put(digest, {"x": 1})
+        other = "34" * 32
+        store.path(other).parent.mkdir(parents=True, exist_ok=True)
+        store.path(other).write_text(store.path(digest).read_text())
+        assert store.get(other) is None
+
+    def test_float_bit_exact_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "56" * 32
+        values = [0.1 + 0.2, 1e-300, 3.141592653589793, 2.0 ** -1074]
+        store.put(digest, values)
+        assert store.get(digest).result == values
+
+    def test_put_is_atomic_under_thread_races(self, tmp_path):
+        """Many threads writing one digest never produce a torn file."""
+        store = ArtifactStore(tmp_path)
+        digest = "78" * 32
+        payload = {"rows": list(range(500))}
+        errors = []
+
+        def write(k):
+            try:
+                for _ in range(20):
+                    store.put(digest, payload, metadata={"writer": k})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(k,))
+                   for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        record = store.get(digest)
+        assert record is not None and record.result == payload
+        leftovers = [p for p in store.path(digest).parent.iterdir()
+                     if ".tmp." in p.name]
+        assert leftovers == []
+
+
+class TestSchemaInvalidation:
+    """A store populated at version N must miss after a bump (ISSUE 5)."""
+
+    def _digest_roundtrip(self, store, kind, request):
+        digest = store.digest_request(kind, request)
+        store.put(digest, {"computed_at_schema":
+                           runner_mod.CACHE_SCHEMA_VERSION})
+        return digest
+
+    @pytest.mark.parametrize("kind,payload", [
+        ("place", {"topology": "grid-25"}),
+        ("map", {"benchmark": "bv-4", "topology": "grid-25",
+                 "num_mappings": 2}),
+    ])
+    def test_bump_misses_for_both_artifact_kinds(self, tmp_path,
+                                                 monkeypatch, kind,
+                                                 payload):
+        store = ArtifactStore(tmp_path)
+        request = parse_request(kind, payload)
+        old_digest = self._digest_roundtrip(store, kind, request)
+        assert store.get(old_digest) is not None
+
+        monkeypatch.setattr(runner_mod, "CACHE_SCHEMA_VERSION",
+                            runner_mod.CACHE_SCHEMA_VERSION + 1)
+        new_digest = store.digest_request(kind, request)
+        assert new_digest != old_digest
+        # The lookup under the new version is a clean miss — no crash,
+        # no stale data.
+        assert store.get(new_digest) is None

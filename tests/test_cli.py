@@ -1,5 +1,10 @@
 """Unit tests for the command-line interface."""
 
+import os
+import re
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -109,6 +114,13 @@ class TestWorkloadCommands:
         payload = json.loads(merged.read_text())
         assert list(payload["fidelity"]) == ["bv-9", "ghz-9", "qaoa-9"]
 
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8754
+        assert args.workers == 2
+        assert args.store_dir == "repro-service-data"
+
     @pytest.mark.parametrize("mismatch", [
         {"topology": "falcon-27"},
         {"placement_seed": 7},
@@ -129,3 +141,41 @@ class TestWorkloadCommands:
         b.write_text(json.dumps({**base, **mismatch, "shard_index": 1}))
         with pytest.raises(SystemExit):
             main(["workloads", "merge", str(a), str(b)])
+
+
+class TestServeCommand:
+    def test_serve_round_trip_subprocess(self, tmp_path):
+        """`repro serve` boots, serves a job over HTTP, stops cleanly.
+
+        The same choreography as the CI service smoke step, on an
+        ephemeral port with a stub-fast map request.
+        """
+        from repro.service import ServiceClient
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--jobs", "1",
+             "--store-dir", str(tmp_path / "store")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, cwd=str(tmp_path))
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, f"no address in banner: {banner!r}"
+            client = ServiceClient(f"http://127.0.0.1:{match.group(1)}",
+                                   timeout=30.0)
+            assert client.healthz()["status"] == "ok"
+            result = client.run(
+                "map", {"benchmark": "bv-4", "topology": "grid-25",
+                        "num_mappings": 2}, timeout=120)
+            assert len(result["mappings"]) == 2
+            client.shutdown()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
