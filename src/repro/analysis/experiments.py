@@ -74,21 +74,31 @@ class PlacementSuite:
 def build_suite(topology_name: str,
                 segment_size_mm: float = constants.DEFAULT_SEGMENT_SIZE_MM,
                 strategies: Sequence[str] = STRATEGIES,
-                config: Optional[PlacerConfig] = None) -> PlacementSuite:
+                config: Optional[PlacerConfig] = None,
+                initial_positions: Optional[Dict[str, np.ndarray]] = None
+                ) -> PlacementSuite:
     """Place one topology with every requested strategy.
 
     All strategies share the netlist (hence the frequency plan), matching
     the paper's controlled comparison.
+
+    Args:
+        initial_positions: Optional per-strategy ``(n, 2)`` warm-start
+            centres for the engine strategies (``"human"`` is
+            constructive and ignores them).  Missing strategies fall
+            back to the seeded default start.
     """
     topology = get_topology(topology_name)
     base = config if config is not None else PlacerConfig()
     base = base.with_segment_size(segment_size_mm)
     netlist = build_netlist(topology)
+    seeds = initial_positions or {}
     layouts: Dict[str, Layout] = {}
     results: Dict[str, Optional[PlacementResult]] = {}
     for strategy in strategies:
         if strategy == "qplacer":
-            result = QPlacer(base).place(netlist)
+            result = QPlacer(base).place(
+                netlist, initial_positions=seeds.get(strategy))
             layouts[strategy] = result.layout
             results[strategy] = result
         elif strategy == "classic":
@@ -101,7 +111,8 @@ def build_suite(topology_name: str,
                 max_iterations=base.max_iterations,
                 seed=base.seed,
             )
-            result = QPlacer(classic_cfg).place(netlist)
+            result = QPlacer(classic_cfg).place(
+                netlist, initial_positions=seeds.get(strategy))
             layouts[strategy] = result.layout
             results[strategy] = result
         elif strategy == "human":
@@ -546,20 +557,78 @@ def evaluation_payload(results: Dict[str, Dict[str, object]]
     return payload
 
 
+def warm_start_positions(store, topology: str, segment_size_mm: float,
+                         strategies: Sequence[str]
+                         ) -> Tuple[Dict[str, np.ndarray], Optional[str]]:
+    """Per-strategy warm-start seeds from the nearest stored placement.
+
+    Looks up :meth:`~repro.service.store.ArtifactStore.
+    nearest_placement` and extracts each requested strategy's stored
+    positions; a strategy absent from the artifact falls back to any
+    available layout (a different strategy's converged placement is
+    still a far better start than the seeded random cloud).  Returns
+    ``({}, None)`` when the store holds no usable artifact.
+    """
+    record = store.nearest_placement(topology,
+                                     segment_size_mm=segment_size_mm)
+    if record is None:
+        return {}, None
+    stored = {
+        name: np.asarray(entry["layout"]["positions"], dtype=float)
+        for name, entry in record.result.get("strategies", {}).items()
+        if isinstance(entry, dict) and entry.get("layout")
+        and entry["layout"].get("positions")
+    }
+    if not stored:
+        return {}, None
+    fallback = next(iter(stored.values()))
+    seeds = {name: stored.get(name, fallback) for name in strategies
+             if name != "human"}
+    return seeds, record.digest
+
+
 def run_place_request(topology: str, segment_size_mm: float,
                       strategies: Sequence[str], seed: int,
                       config: Optional[PlacerConfig],
                       include_layouts: bool,
-                      runner: "ParallelRunner") -> Dict[str, object]:
-    """Execute one service place request (a cached PlacementJob)."""
+                      runner: "ParallelRunner",
+                      warm_start: bool = False,
+                      store=None) -> Dict[str, object]:
+    """Execute one service place request (a cached PlacementJob).
+
+    With ``warm_start`` (and a store to scan), the engines are seeded
+    from the nearest stored placement of the topology.  The warm path
+    bypasses the runner's suite cache: its result depends on store
+    contents a :class:`~repro.analysis.runner.PlacementJob` token
+    cannot describe.
+    """
     from .runner import PlacementJob
 
+    if warm_start and store is not None:
+        seeds, source = warm_start_positions(
+            store, topology, segment_size_mm, strategies)
+        if seeds:
+            suite = build_suite(
+                topology, segment_size_mm=segment_size_mm,
+                strategies=tuple(strategies),
+                config=_effective_config(config, seed, segment_size_mm),
+                initial_positions=seeds)
+            payload = placement_payload(suite, segment_size_mm,
+                                        include_layouts=include_layouts)
+            payload["warm_start"] = {"seeded": True,
+                                     "source_digest": source}
+            return payload
     job = PlacementJob(topology=topology, segment_size_mm=segment_size_mm,
                        strategies=tuple(strategies), config=config,
                        seed=seed)
     suite = runner.run_suites([job])[0]
-    return placement_payload(suite, segment_size_mm,
-                             include_layouts=include_layouts)
+    payload = placement_payload(suite, segment_size_mm,
+                                include_layouts=include_layouts)
+    if warm_start:
+        # Requested but nothing to seed from: record the cold fallback
+        # so clients can tell the two cases apart.
+        payload["warm_start"] = {"seeded": False, "source_digest": None}
+    return payload
 
 
 def run_fidelity_request(topology: str, workloads: Sequence[str],

@@ -57,7 +57,12 @@ from ..io.serialization import canonical_json
 #:    batch (and everything downstream of evaluation_mappings).
 #: 4: MappedCircuit grew columnar gate arrays (pickled mapping payloads
 #:    changed shape; fidelity numbers are unchanged).
-CACHE_SCHEMA_VERSION = 4
+#: 5: incremental placement engine — PlacerConfig grew the banding /
+#:    incremental-density switches and PlaceRequest grew ``warm_start``
+#:    (both re-key every config-bearing digest), and sparse-backend
+#:    topologies (condor tiers) converge along a different numeric
+#:    trajectory under incremental density.
+CACHE_SCHEMA_VERSION = 5
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -405,7 +410,15 @@ class ParallelRunner:
             with open(path, "rb") as fh:
                 return True, pickle.load(fh)
         except Exception:
-            # Torn/stale cache entries are recomputed, never fatal.
+            # Torn/stale cache entries are recomputed, never fatal —
+            # and deleted, so a permanently corrupt file (e.g. a
+            # truncated write that survived a crash) cannot force a
+            # parse-and-fail on every future lookup.  The recompute
+            # below rewrites the entry atomically.
+            try:
+                path.unlink()
+            except OSError:
+                pass  # racing unlink/readonly dir: still a plain miss
             return False, None
 
     @contextlib.contextmanager

@@ -64,12 +64,58 @@ def _add_common_placer_args(parser: argparse.ArgumentParser) -> None:
     _add_backend_arg(parser)
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: integer >= 1, with a clear parse-time error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer (>= 1), got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """argparse type: float >= 0, with a clear parse-time error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {value}")
+    return value
+
+
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--interaction-backend",
                         choices=("auto", "dense", "sparse"), default="auto",
                         help="spatial interaction strategy: dense pair "
                              "matrices, sparse uniform-grid neighbor "
                              "lists, or auto by problem size (default)")
+    parser.add_argument("--incremental-density",
+                        choices=("auto", "on", "off"), default="auto",
+                        help="incremental density-map updates: on, off "
+                             "(dense recompute), or auto = follow the "
+                             "resolved interaction backend (default)")
+    parser.add_argument("--density-flush-interval", type=_positive_int,
+                        default=None, metavar="N",
+                        help="full density rebuild checkpoint every N "
+                             "incremental evaluations (default 16)")
+    parser.add_argument("--density-move-threshold", type=_nonnegative_float,
+                        default=None, metavar="MM",
+                        dest="density_move_threshold_mm",
+                        help="re-scatter an instance only once it moved "
+                             "more than this per axis, in mm (default "
+                             "0.01; 0 = every nonzero move)")
+    parser.add_argument("--freq-pair-banding", choices=("on", "off"),
+                        default="on",
+                        help="frequency-band the sparse neighbor-list "
+                             "grid so non-resonant candidates are never "
+                             "generated (default on)")
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -85,9 +131,19 @@ def _runner_from(args: argparse.Namespace) -> ParallelRunner:
 
 
 def _config_from(args: argparse.Namespace) -> PlacerConfig:
+    extra = {}
+    if getattr(args, "density_flush_interval", None) is not None:
+        extra["density_flush_interval"] = args.density_flush_interval
+    if getattr(args, "density_move_threshold_mm", None) is not None:
+        extra["density_move_threshold_mm"] = args.density_move_threshold_mm
     return PlacerConfig(segment_size_mm=args.segment_size, seed=args.seed,
                         interaction_backend=getattr(
-                            args, "interaction_backend", "auto"))
+                            args, "interaction_backend", "auto"),
+                        incremental_density=getattr(
+                            args, "incremental_density", "auto"),
+                        freq_pair_banding=getattr(
+                            args, "freq_pair_banding", "on") == "on",
+                        **extra)
 
 
 def cmd_topologies(_args: argparse.Namespace) -> int:
@@ -114,7 +170,11 @@ def cmd_place(args: argparse.Namespace) -> int:
     if args.classic:
         config = PlacerConfig.classic(
             segment_size_mm=args.segment_size, seed=args.seed,
-            interaction_backend=args.interaction_backend)
+            interaction_backend=args.interaction_backend,
+            incremental_density=config.incremental_density,
+            density_flush_interval=config.density_flush_interval,
+            density_move_threshold_mm=config.density_move_threshold_mm,
+            freq_pair_banding=config.freq_pair_banding)
     netlist = build_netlist(get_topology(args.topology))
     result = QPlacer(config).place(netlist)
     metrics = compute_layout_metrics(result.layout)
@@ -296,7 +356,7 @@ def cmd_workloads_build(args: argparse.Namespace) -> int:
 SHARD_CONTEXT_KEYS = (
     "topology", "workloads", "shard_count", "num_mappings", "base_seed",
     "strategies", "placement_seed", "segment_size_mm",
-    "interaction_backend",
+    "interaction_backend", "incremental_density",
 )
 
 
@@ -314,6 +374,7 @@ def _shard_payload(args: argparse.Namespace, names: tuple,
         "placement_seed": args.seed,
         "segment_size_mm": args.segment_size,
         "interaction_backend": args.interaction_backend,
+        "incremental_density": args.incremental_density,
         "fidelity": fidelity,
     }
 

@@ -66,6 +66,19 @@ class PlacerConfig:
         freq_pair_cutoff_mm: Sparse-only distance cutoff of the
             frequency repulsive force.
         freq_pair_skin_mm: Sparse-only Verlet skin of the neighbor list.
+        freq_pair_banding: Bucket neighbor-list candidates by frequency
+            band before the spatial grid, so never-resonant pairs are
+            never materialised.  Result-preserving (the exact resonance
+            filter still runs); off reproduces the PR 2 rebuild cost.
+        incremental_density: ``"auto"`` (incremental on sparse-resolved
+            problems, dense recompute elsewhere), ``"on"``, or ``"off"``.
+        density_flush_interval: Full-rasterise checkpoint cadence of the
+            incremental density path, in objective evaluations; ``1``
+            flushes every evaluation, which is arithmetically identical
+            to the dense recompute (the bench's bit-identity gate).
+        density_move_threshold_mm: Instances displaced at most this per
+            axis since their last scatter keep their stale bin charge
+            between flushes (0 = re-scatter every moved instance).
     """
 
     # geometry / preprocessing
@@ -111,6 +124,18 @@ class PlacerConfig:
     #: neighbor list; the list is rebuilt once any instance drifts more
     #: than half the skin.
     freq_pair_skin_mm: float = 1.5
+    #: Frequency-banded candidate generation during neighbor-list
+    #: rebuilds (result-preserving; the dominant condor-scale win).
+    freq_pair_banding: bool = True
+
+    # incremental density (see repro.core.density)
+    #: ``"auto"`` (on for sparse-resolved problems), ``"on"``, ``"off"``.
+    incremental_density: str = "auto"
+    #: Objective evaluations between full-rasterise checkpoints (>= 1).
+    density_flush_interval: int = 16
+    #: Per-axis displacement below which an instance's bin charge is
+    #: left stale between flushes (mm, >= 0).
+    density_move_threshold_mm: float = 0.01
 
     def __post_init__(self) -> None:
         if self.segment_size_mm <= 0:
@@ -128,13 +153,24 @@ class PlacerConfig:
         if self.max_iterations < self.min_iterations:
             raise ValueError("max_iterations must be >= min_iterations")
         if self.interaction_backend not in ("auto", "dense", "sparse"):
-            raise ValueError("interaction_backend must be auto, dense, "
-                             "or sparse")
+            raise ValueError(
+                f"interaction_backend must be one of ('auto', 'dense', "
+                f"'sparse'), got {self.interaction_backend!r}")
         if self.sparse_min_instances < 1:
             raise ValueError("sparse_min_instances must be positive")
         if self.freq_pair_cutoff_mm <= 0 or self.freq_pair_skin_mm <= 0:
             raise ValueError("frequency pair cutoff and skin must be "
                              "positive")
+        if self.incremental_density not in ("auto", "on", "off"):
+            raise ValueError(
+                f"incremental_density must be one of ('auto', 'on', "
+                f"'off'), got {self.incremental_density!r}")
+        if self.density_flush_interval < 1:
+            raise ValueError("density_flush_interval must be >= 1, got "
+                             f"{self.density_flush_interval}")
+        if self.density_move_threshold_mm < 0:
+            raise ValueError("density_move_threshold_mm must be >= 0, "
+                             f"got {self.density_move_threshold_mm}")
 
     @staticmethod
     def classic(**overrides) -> "PlacerConfig":
@@ -158,6 +194,19 @@ class PlacerConfig:
         from .interactions import resolve_backend
         return resolve_backend(self.interaction_backend, num_instances,
                                self.sparse_min_instances)
+
+    def resolved_incremental_density(self, num_instances: int) -> bool:
+        """Whether the density field updates incrementally at this size.
+
+        ``"auto"`` couples the decision to the interaction backend: the
+        six paper topologies resolve dense and keep the bit-exact dense
+        recompute, while condor-class problems go incremental.
+        """
+        if self.incremental_density == "on":
+            return True
+        if self.incremental_density == "off":
+            return False
+        return self.resolved_interaction_backend(num_instances) == "sparse"
 
     def qubit_site_pitch_mm(self, qubit_size_mm: float = constants.QUBIT_SIZE_MM) -> float:
         """Legalization lattice pitch for qubits."""

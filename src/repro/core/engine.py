@@ -63,6 +63,14 @@ class GlobalPlaceResult:
     peak_collision_pairs: int = 0
     freq_list_rebuilds: int = 0
     peak_pair_candidates: int = 0
+    #: Sparse-only: objective evaluations that reused the neighbor list.
+    freq_list_reuses: int = 0
+    #: Incremental-density telemetry (0 on the dense recompute path).
+    density_flushes: int = 0
+    density_rescattered: int = 0
+    density_max_flush_error: float = 0.0
+    #: True when the run was seeded from externally supplied positions.
+    warm_started: bool = False
 
     @property
     def iterations(self) -> int:
@@ -76,10 +84,20 @@ class GlobalPlaceResult:
 
 
 class GlobalPlacer:
-    """Runs Eq. (14) on one :class:`PlacementProblem`."""
+    """Runs Eq. (14) on one :class:`PlacementProblem`.
+
+    Args:
+        problem: The preprocessed placement problem.
+        config: Configuration override (defaults to the problem's).
+        initial_positions: Optional ``(n, 2)`` warm-start centres that
+            replace the problem's seeded initial positions (e.g. a
+            cached placement of the same topology from the artifact
+            store).  They are projected into the region before use.
+    """
 
     def __init__(self, problem: PlacementProblem,
-                 config: Optional[PlacerConfig] = None) -> None:
+                 config: Optional[PlacerConfig] = None,
+                 initial_positions: Optional[np.ndarray] = None) -> None:
         self.problem = problem
         self.config = config if config is not None else problem.config
         self.density = DensityGrid(
@@ -88,10 +106,25 @@ class GlobalPlacer:
             sizes=problem.inflated_sizes(),
             target_density=self.config.target_density,
         )
+        self._warm_start: Optional[np.ndarray] = None
+        if initial_positions is not None:
+            initial_positions = np.asarray(initial_positions, dtype=float)
+            if initial_positions.shape != (problem.num_instances, 2):
+                raise ValueError(
+                    f"initial_positions must be shaped "
+                    f"({problem.num_instances}, 2), got "
+                    f"{initial_positions.shape}")
+            self._warm_start = initial_positions
+        self._incremental_density = \
+            self.config.resolved_incremental_density(problem.num_instances)
+        self._density_evals = 0
         self._lambda_density = 0.0
         self._lambda_freq = 0.0
         self._last_overflow = 1.0
         self._last_parts: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+        nets = problem.nets
+        self._net_pin_index: Optional[np.ndarray] = (
+            np.concatenate([nets[:, 0], nets[:, 1]]) if nets.size else None)
         backend = self.config.resolved_interaction_backend(
             problem.num_instances)
         self._sparse_pairs: Optional[PrunedCollisionPairs] = None
@@ -104,7 +137,8 @@ class GlobalPlacer:
                 problem.frequencies, problem.resonator_index,
                 self.config.detuning_threshold_ghz,
                 cutoff_mm=self.config.freq_pair_cutoff_mm,
-                skin_mm=self.config.freq_pair_skin_mm)
+                skin_mm=self.config.freq_pair_skin_mm,
+                band_pairs=self.config.freq_pair_banding)
         elif self.config.frequency_aware:
             # Static pair set with a precomputed scatter index (pairs
             # never change between iterations).  Materialises the map
@@ -129,11 +163,22 @@ class GlobalPlacer:
 
     # -- objective ---------------------------------------------------------------
 
+    def _density(self, positions: np.ndarray):
+        """One density evaluation through the configured path."""
+        if not self._incremental_density:
+            return self.density.evaluate(positions)
+        flush = (self._density_evals
+                 % self.config.density_flush_interval) == 0
+        self._density_evals += 1
+        return self.density.evaluate_incremental(
+            positions, self.config.density_move_threshold_mm, flush=flush)
+
     def _objective(self, positions: np.ndarray) -> Tuple[float, np.ndarray]:
         cfg = self.config
         wl, wl_grad = wirelength_and_grad(
-            positions, self.problem.nets, cfg.wirelength_smoothing_mm)
-        dens = self.density.evaluate(positions)
+            positions, self.problem.nets, cfg.wirelength_smoothing_mm,
+            pin_index=self._net_pin_index)
+        dens = self._density(positions)
         value = wl + self._lambda_density * dens.energy
         grad = wl_grad + self._lambda_density * dens.grad
         freq_energy = 0.0
@@ -162,7 +207,8 @@ class GlobalPlacer:
         """Balance gradient magnitudes (the ePlace initialisation)."""
         cfg = self.config
         _, wl_grad = wirelength_and_grad(
-            positions, self.problem.nets, cfg.wirelength_smoothing_mm)
+            positions, self.problem.nets, cfg.wirelength_smoothing_mm,
+            pin_index=self._net_pin_index)
         dens = self.density.evaluate(positions)
         wl_norm = float(np.abs(wl_grad).sum())
         dens_norm = float(np.abs(dens.grad).sum())
@@ -181,7 +227,9 @@ class GlobalPlacer:
     def run(self) -> GlobalPlaceResult:
         """Execute the penalty schedule until the overflow target."""
         cfg = self.config
-        positions = self._project(self.problem.initial_positions.copy())
+        start = (self._warm_start if self._warm_start is not None
+                 else self.problem.initial_positions)
+        positions = self._project(start.copy())
         self._initial_multipliers(positions)
         max_move = max(self.density.bin_w, self.density.bin_h)
         optimizer = NesterovOptimizer(
@@ -218,4 +266,9 @@ class GlobalPlacer:
             peak_collision_pairs=self._peak_pairs,
             freq_list_rebuilds=sparse.rebuilds if sparse else 0,
             peak_pair_candidates=sparse.peak_candidates if sparse else 0,
+            freq_list_reuses=sparse.reuses if sparse else 0,
+            density_flushes=self.density.inc_flushes,
+            density_rescattered=self.density.inc_rescattered,
+            density_max_flush_error=self.density.inc_max_flush_error,
+            warm_started=self._warm_start is not None,
         )

@@ -26,6 +26,10 @@ class OptimizerState:
     value: float
     grad_norm: float
     step_length: float
+    #: Largest single-coordinate displacement of the accepted iterate in
+    #: this step (mm) — the quantity the engine's incremental density
+    #: and Verlet neighbor-list reuse are keyed on.
+    max_move_mm: float = 0.0
 
 
 class NesterovOptimizer:
@@ -94,11 +98,13 @@ class NesterovOptimizer:
 
         self._prev_v = self.v
         self._prev_grad = grad
+        moved = float(np.abs(x_new - self.x).max()) if x_new.size else 0.0
         self.x, self.v, self.a = x_new, v_new, a_new
         self.state = OptimizerState(
             iteration=self.state.iteration + 1,
             value=value,
             grad_norm=float(np.linalg.norm(grad)),
             step_length=alpha,
+            max_move_mm=moved,
         )
         return self.state

@@ -75,11 +75,21 @@ class QPlacer:
         """Layout tag: ``"qplacer"`` or ``"classic"``."""
         return "qplacer" if self.config.frequency_aware else "classic"
 
-    def place(self, netlist: QuantumNetlist) -> PlacementResult:
-        """Run the full placement flow on a netlist."""
+    def place(self, netlist: QuantumNetlist,
+              initial_positions: Optional[np.ndarray] = None
+              ) -> PlacementResult:
+        """Run the full placement flow on a netlist.
+
+        Args:
+            netlist: The netlist to place.
+            initial_positions: Optional ``(n, 2)`` warm-start centres
+                for the global placement (e.g. a cached layout of the
+                same topology); ``None`` uses the seeded default.
+        """
         start = time.perf_counter()
         problem = build_problem(netlist, self.config)
-        engine = GlobalPlacer(problem, self.config)
+        engine = GlobalPlacer(problem, self.config,
+                              initial_positions=initial_positions)
         global_result = engine.run()
         legal_positions, legalize_stats = legalize(
             problem, global_result.positions, self.config)

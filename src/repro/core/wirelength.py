@@ -12,7 +12,7 @@ which is exact as ``gamma -> 0`` and has gradient ``d / sqrt(d^2+g^2)``.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -37,13 +37,19 @@ def smooth_wirelength(positions: np.ndarray, nets: np.ndarray,
 
 
 def wirelength_and_grad(positions: np.ndarray, nets: np.ndarray,
-                        gamma: float) -> Tuple[float, np.ndarray]:
+                        gamma: float,
+                        pin_index: Optional[np.ndarray] = None
+                        ) -> Tuple[float, np.ndarray]:
     """Smoothed wirelength and its gradient w.r.t. every instance centre.
 
     Args:
         positions: ``(n, 2)`` instance centres.
         nets: ``(m, 2)`` pin index pairs.
         gamma: Smoothing length (mm).
+        pin_index: Optional precomputed scatter index
+            ``concatenate([nets[:, 0], nets[:, 1]])`` — callers looping
+            over fixed nets (the placement engine) pass it once instead
+            of rebuilding it every evaluation.
 
     Returns:
         ``(value, grad)`` with ``grad`` shaped ``(n, 2)``.
@@ -59,6 +65,14 @@ def wirelength_and_grad(positions: np.ndarray, nets: np.ndarray,
     root = np.sqrt(delta * delta + gamma * gamma)
     value = float((root - gamma).sum())
     pull = delta / root
-    np.add.at(grad, a, pull)
-    np.add.at(grad, b, -pull)
+    # One bincount over the concatenated pin stream accumulates in the
+    # same per-index sequential order as the former pair of np.add.at
+    # scatters (all a-pulls, then all b-pulls), bit for bit, while
+    # avoiding np.add.at's unbuffered per-element dispatch.
+    if pin_index is None:
+        pin_index = np.concatenate([a, b])
+    n = positions.shape[0]
+    signed = np.concatenate([pull, -pull])
+    grad[:, 0] = np.bincount(pin_index, weights=signed[:, 0], minlength=n)
+    grad[:, 1] = np.bincount(pin_index, weights=signed[:, 1], minlength=n)
     return value, grad

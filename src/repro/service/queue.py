@@ -14,11 +14,17 @@ service:
 * **priority tiers** — ``high`` < ``normal`` < ``low`` pop order, FIFO
   within a tier;
 * **cancellation** — queued jobs cancel immediately; running jobs only
-  get a best-effort flag (the compute is not interrupted).
+  get a best-effort flag (the compute is not interrupted).  A worker
+  that honours the flag (or aborts with :class:`JobCancelled`) settles
+  the job through :meth:`JobQueue.cancel_claimed`, which — like
+  ``finish``/``fail`` — releases the digest for dedup.  Every terminal
+  transition MUST go through one of those three methods: a digest left
+  in the dedup index with no live worker would make every later
+  identical submission coalesce onto a zombie job and hang forever.
 
-Job lifecycle: ``queued -> running -> done | failed``, plus
-``cancelled`` out of ``queued``.  All state transitions happen under
-one condition variable; workers block in :meth:`JobQueue.claim`.
+Job lifecycle: ``queued -> running -> done | failed | cancelled``,
+plus ``cancelled`` out of ``queued``.  All state transitions happen
+under one condition variable; workers block in :meth:`JobQueue.claim`.
 """
 
 from __future__ import annotations
@@ -42,6 +48,16 @@ CANCELLED = "cancelled"
 
 #: Priority tier -> pop rank (lower pops first).
 PRIORITIES: Dict[str, int] = {"high": 0, "normal": 1, "low": 2}
+
+
+class JobCancelled(BaseException):
+    """Raised by an executor that honours ``cancel_requested``.
+
+    Deliberately a ``BaseException``: the scheduler's blanket
+    ``except Exception`` around executors converts failures into a
+    ``failed`` job state, and a cooperative abort must not be
+    misreported as a failure.
+    """
 
 
 @dataclass
@@ -251,13 +267,25 @@ class JobQueue:
                         if not self._heap:
                             return None
 
+    def _release_locked(self, job: JobRecord) -> None:
+        """Drop ``job``'s dedup entry — only if it still owns it.
+
+        After a running job is settled through :meth:`cancel_claimed`,
+        an identical resubmission may already occupy the digest slot; a
+        straggling ``finish``/``fail`` from the old worker must not
+        evict the new job's entry (later submits would then duplicate
+        the computation instead of coalescing).
+        """
+        if self._active.get(job.digest) is job:
+            self._active.pop(job.digest)
+
     def finish(self, job_id: str) -> None:
         """Mark a running job done and release its digest for dedup."""
         with self._cond:
             job = self._jobs[job_id]
             job.state = DONE
             job.finished_at = time.time()
-            self._active.pop(job.digest, None)
+            self._release_locked(job)
             self.completed += 1
 
     def fail(self, job_id: str, error: str) -> None:
@@ -267,8 +295,28 @@ class JobQueue:
             job.state = FAILED
             job.error = error
             job.finished_at = time.time()
-            self._active.pop(job.digest, None)
+            self._release_locked(job)
             self.failed += 1
+
+    def cancel_claimed(self, job_id: str) -> None:
+        """Settle a claimed job as cancelled and release its digest.
+
+        The worker-side counterpart of :meth:`cancel`: when the thread
+        that claimed a job observes ``cancel_requested`` (before or
+        during execution, via :class:`JobCancelled`), it must settle
+        the record through here.  Without this transition the digest
+        would stay in the dedup index forever and every later identical
+        submission would coalesce onto the dead job and hang.  A no-op
+        for jobs already settled (e.g. a racing ``fail``).
+        """
+        with self._cond:
+            job = self._jobs[job_id]
+            if job.state != RUNNING:
+                return
+            job.state = CANCELLED
+            job.finished_at = time.time()
+            self._release_locked(job)
+            self.cancelled += 1
 
     def cancel(self, job_id: str) -> bool:
         """Withdraw one submission; True when the job will never run.
@@ -282,7 +330,9 @@ class JobQueue:
         and its artifact is stored (dedup makes it reusable).  Only a
         queued job with a single lifetime submitter cancels outright.
         Running jobs only get ``cancel_requested`` set (best effort —
-        the executor is not interrupted) and False is returned.
+        the executor is not interrupted) and False is returned; a
+        worker that honours the flag settles the job through
+        :meth:`cancel_claimed`.
 
         Raises:
             KeyError: unknown job id.

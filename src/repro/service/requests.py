@@ -49,6 +49,12 @@ class PlaceRequest:
     (the executor builds exactly that job, so the runner's suite cache
     is shared).  The artifact is the per-strategy metrics table plus —
     when ``include_layouts`` — the serialised layouts themselves.
+
+    ``warm_start`` seeds the global placement from the nearest stored
+    placement of the same topology (:meth:`~repro.service.store.
+    ArtifactStore.nearest_placement`).  It is a request field — not an
+    execution option — because the seeding changes the computed
+    positions, so warm and cold runs must digest differently.
     """
 
     kind: ClassVar[str] = "place"
@@ -59,6 +65,7 @@ class PlaceRequest:
     seed: int = 0
     config: Optional[PlacerConfig] = None
     include_layouts: bool = True
+    warm_start: bool = False
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..analysis.runner import ParallelRunner
-from .queue import JobQueue, JobRecord
+from .queue import JobCancelled, JobQueue, JobRecord
 from .requests import (EvaluateRequest, FidelityRequest, MapRequest,
                        PlaceRequest, Request)
 from .store import ArtifactStore
@@ -50,7 +50,8 @@ def execute_place(request: PlaceRequest, ctx: ExecutionContext,
         segment_size_mm=request.segment_size_mm,
         strategies=request.strategies, seed=request.seed,
         config=request.config, include_layouts=request.include_layouts,
-        runner=ctx.runner)
+        runner=ctx.runner, warm_start=request.warm_start,
+        store=ctx.store)
 
 
 def execute_fidelity(request: FidelityRequest, ctx: ExecutionContext,
@@ -181,23 +182,35 @@ class Scheduler:
         if executor is None:
             self.queue.fail(job.job_id, f"no executor for kind {job.kind!r}")
             return
+        if job.cancel_requested:
+            # Cancelled between queueing and the claim: settle without
+            # computing, releasing the digest for future submissions.
+            self.queue.cancel_claimed(job.job_id)
+            return
         started = time.perf_counter()
         try:
             result = executor(job.request, ExecutionContext(
                 runner=self.runner, store=self.store), job)
-        except Exception:
-            self.queue.fail(job.job_id, traceback.format_exc())
-            return
-        elapsed = time.perf_counter() - started
-        try:
+            elapsed = time.perf_counter() - started
             self.store.put(job.digest, result, metadata={
                 "kind": job.kind,
                 "request": _canonical_request(job.request),
                 "compute_s": elapsed,
             })
+        except JobCancelled:
+            self.queue.cancel_claimed(job.job_id)
+            return
         except Exception:
             self.queue.fail(job.job_id, traceback.format_exc())
             return
+        except BaseException:
+            # SystemExit/KeyboardInterrupt out of an executor would
+            # otherwise kill this worker thread with the job still
+            # RUNNING and its digest stuck in the dedup index — every
+            # later identical submission would coalesce onto the dead
+            # job and hang.  Settle the record, then let it propagate.
+            self.queue.fail(job.job_id, traceback.format_exc())
+            raise
         with self._lock:
             self.computations += 1
             self.computed_digests.append(job.digest)

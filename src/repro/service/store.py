@@ -174,6 +174,62 @@ class ArtifactStore:
             self._remember_locked(digest)
         return record
 
+    def nearest_placement(self, topology: str,
+                          segment_size_mm: Optional[float] = None
+                          ) -> Optional[ArtifactRecord]:
+        """Newest stored ``place`` artifact matching a topology.
+
+        The warm-start lookup: scans the store for ``place`` artifacts
+        whose request targeted ``topology`` (and, when given,
+        ``segment_size_mm``) and that carry serialised layouts, and
+        returns the most recently created one — or ``None`` when the
+        store holds no usable match.  Torn or foreign files are
+        skipped, and the scan bypasses :meth:`get` so it never skews
+        the hit/miss metrics.
+        """
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return None
+        best: Optional[ArtifactRecord] = None
+        best_created = float("-inf")
+        for path in objects.glob("*/*.json"):
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if (not isinstance(document, dict)
+                    or document.get("format") != ARTIFACT_FORMAT):
+                continue
+            metadata = document.get("metadata")
+            if not isinstance(metadata, dict) \
+                    or metadata.get("kind") != "place":
+                continue
+            request = metadata.get("request")
+            if isinstance(request, dict) and "__dataclass__" in request:
+                request = request.get("fields")  # canonicalize() wrapper
+            if not isinstance(request, dict) \
+                    or request.get("topology") != topology:
+                continue
+            if segment_size_mm is not None and \
+                    request.get("segment_size_mm") != segment_size_mm:
+                continue
+            result = document.get("result")
+            if not isinstance(result, dict) \
+                    or not result.get("strategies"):
+                continue
+            layouts = [s for s in result["strategies"].values()
+                       if isinstance(s, dict) and s.get("layout")]
+            if not layouts:
+                continue  # metrics-only artifact: nothing to seed from
+            created = metadata.get("created_at")
+            created = created if isinstance(created, (int, float)) \
+                else float("-inf")
+            if best is None or created > best_created:
+                best = ArtifactRecord(digest=document.get("digest", ""),
+                                      metadata=metadata, result=result)
+                best_created = created
+        return best
+
     def metrics(self) -> Dict[str, Any]:
         """Hit/miss counters for ``GET /metrics``."""
         total = self.hits + self.misses

@@ -169,3 +169,38 @@ class TestSchemaVersionInvalidation:
         before = job_token(job)
         self._bump(monkeypatch)
         assert job_token(job) != before
+
+
+class TestCorruptEntryRecovery:
+    def test_truncated_pickle_recomputes_and_deletes(self, tmp_path):
+        """A truncated entry is a clean miss AND gets evicted from disk."""
+        job = PlacementJob(topology="grid-25", strategies=("qplacer",),
+                           config=FAST)
+        first = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        good = first.run_suites([job])[0]
+        entry = next(tmp_path.rglob("*.pkl"))
+        data = entry.read_bytes()
+        entry.write_bytes(data[:len(data) // 2])  # a torn write survived
+
+        again = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        suite = again.run_suites([job])[0]
+        assert again.cache_hits == 0 and again.cache_misses == 1
+        assert (suite.layouts["qplacer"].positions
+                == good.layouts["qplacer"].positions).all()
+        # the recompute replaced the corrupt file with a loadable entry
+        third = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        third.run_suites([job])
+        assert third.cache_hits == 1 and third.cache_misses == 0
+
+    def test_cache_load_unlinks_corrupt_file(self, tmp_path):
+        path = tmp_path / "ns" / "deadbeef.pkl"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\x80\x04not really a pickle")
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        assert runner._cache_load(path) == (False, None)
+        assert not path.exists()
+
+    def test_missing_entry_is_a_plain_miss(self, tmp_path):
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        assert runner._cache_load(tmp_path / "ns" / "absent.pkl") \
+            == (False, None)

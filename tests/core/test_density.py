@@ -96,3 +96,83 @@ class TestEvaluate:
     def test_validation(self):
         with pytest.raises(ValueError):
             DensityGrid(Rect(0, 0, 8, 8), 2, np.ones((1, 2)))
+
+
+class TestIncrementalEvaluate:
+    """ISSUE 6: incremental density updates vs the dense recompute."""
+
+    def _walk(self, rng, positions, scale=0.3):
+        return positions + rng.normal(0.0, scale, size=positions.shape)
+
+    def test_flush_every_call_is_bit_identical_to_dense(self):
+        rng = np.random.default_rng(0)
+        dense = make_grid(12, size=0.6)
+        inc = make_grid(12, size=0.6)
+        positions = rng.uniform(1, 7, size=(12, 2))
+        for _ in range(6):
+            a = dense.evaluate(positions)
+            b = inc.evaluate_incremental(positions, 0.0, flush=True)
+            assert np.array_equal(a.grad, b.grad)
+            assert a.energy == b.energy and a.overflow == b.overflow
+            positions = np.clip(self._walk(rng, positions), 0.4, 7.6)
+
+    def test_zero_threshold_tracks_dense_between_flushes(self):
+        """Every nonzero move rescatters, so the incremental map stays
+        within float drift of a fresh rasterise without any flush."""
+        rng = np.random.default_rng(1)
+        grid = make_grid(10, size=0.5)
+        positions = rng.uniform(1, 7, size=(10, 2))
+        grid.evaluate_incremental(positions, 0.0)
+        for _ in range(8):
+            positions = np.clip(self._walk(rng, positions), 0.4, 7.6)
+            result = grid.evaluate_incremental(positions, 0.0)
+            fresh = grid.rasterize(positions)
+            assert np.abs(grid._inc_rho - fresh).max() < 1e-10
+            assert result.energy == pytest.approx(
+                grid._evaluate_at(fresh, positions).energy, rel=1e-12)
+
+    def test_threshold_keeps_stale_charge_for_small_moves(self):
+        grid = make_grid(2, size=0.5)
+        positions = np.array([[2.0, 2.0], [6.0, 6.0]])
+        grid.evaluate_incremental(positions, 0.05)
+        nudged = positions + 0.01  # below the 0.05 threshold
+        grid.evaluate_incremental(nudged, 0.05)
+        assert grid.inc_rescattered == 0  # stale charge kept
+        moved = positions + np.array([[1.0, 0.0], [0.0, 0.0]])
+        grid.evaluate_incremental(moved, 0.05)
+        assert grid.inc_rescattered == 1  # only the displaced instance
+
+    def test_flush_checkpoint_detects_corruption(self):
+        """The divergence assertion is live: a corrupted map trips it."""
+        rng = np.random.default_rng(2)
+        grid = make_grid(6, size=0.5)
+        positions = rng.uniform(1, 7, size=(6, 2))
+        grid.evaluate_incremental(positions, 0.0)
+        grid._inc_rho = grid._inc_rho + 1.0  # bookkeeping bug, simulated
+        with pytest.raises(AssertionError, match="diverged"):
+            grid.evaluate_incremental(positions, 0.0, flush=True)
+
+    def test_flush_tolerance_covers_threshold_staleness(self):
+        """Stale charge from sub-threshold moves must NOT trip a flush."""
+        rng = np.random.default_rng(3)
+        grid = make_grid(8, size=0.5)
+        positions = rng.uniform(1, 7, size=(8, 2))
+        grid.evaluate_incremental(positions, 0.2)
+        for _ in range(5):
+            positions = positions + rng.uniform(-0.15, 0.15,
+                                                size=positions.shape)
+            positions = np.clip(positions, 0.4, 7.6)
+            grid.evaluate_incremental(positions, 0.2)
+        grid.evaluate_incremental(positions, 0.2, flush=True)  # no raise
+        assert grid.inc_flushes == 2  # seed + explicit
+
+    def test_telemetry_counters(self):
+        rng = np.random.default_rng(4)
+        grid = make_grid(5, size=0.5)
+        positions = rng.uniform(1, 7, size=(5, 2))
+        grid.evaluate_incremental(positions, 0.0, flush=True)  # seed
+        positions = positions + 0.3
+        grid.evaluate_incremental(positions, 0.0)
+        assert grid.inc_flushes == 1
+        assert grid.inc_rescattered == 5
+        assert grid.inc_max_flush_error >= 0.0

@@ -9,6 +9,7 @@ from repro.core.interactions import (
     PrunedCollisionPairs,
     RequiredGapTable,
     dense_candidate_pairs,
+    frequency_bands,
     grid_candidate_pairs,
     resolve_backend,
     sort_pairs,
@@ -220,3 +221,79 @@ class TestPrunedCollisionPairs:
             delta = pos[pairs[:, 0]] - pos[pairs[:, 1]]
             dist = np.sqrt((delta * delta).sum(axis=1))
             assert float(dist.max()) <= 0.75 + 1e-9
+
+
+class TestFrequencyBanding:
+    """The 3-D (band x grid) candidate generator (ISSUE 6 tentpole)."""
+
+    def test_resonant_pairs_differ_by_at_most_one_band(self):
+        rng = np.random.default_rng(0)
+        threshold = 0.17
+        freqs = rng.uniform(4.8, 9.6, size=400)
+        bands = frequency_bands(freqs, threshold)
+        i, j = np.triu_indices(freqs.size, k=1)
+        resonant = np.abs(freqs[i] - freqs[j]) <= threshold
+        assert (np.abs(bands[i] - bands[j])[resonant] <= 1).all()
+
+    def test_exact_threshold_detuning_stays_adjacent(self):
+        threshold = 0.2
+        freqs = np.array([5.0, 5.2, 5.4])  # consecutive exact-threshold
+        bands = frequency_bands(freqs, threshold)
+        assert abs(bands[0] - bands[1]) <= 1
+        assert abs(bands[1] - bands[2]) <= 1
+
+    def test_banded_candidates_cover_resonant_near_pairs(self):
+        rng = np.random.default_rng(1)
+        n, cutoff, threshold = 300, 2.0, 0.15
+        positions = rng.uniform(0, 25, size=(n, 2))
+        freqs = rng.uniform(4.8, 9.6, size=n)
+        bands = frequency_bands(freqs, threshold)
+        a, b = grid_candidate_pairs(positions, cutoff, bands=bands)
+        got = set(zip(a.tolist(), b.tolist()))
+        i, j = np.triu_indices(n, k=1)
+        near = (np.abs(positions[i] - positions[j]) <= cutoff).all(axis=1)
+        resonant = np.abs(freqs[i] - freqs[j]) <= threshold
+        for x, y in zip(i[near & resonant], j[near & resonant]):
+            assert (int(x), int(y)) in got
+
+    def test_banded_candidates_no_duplicates_and_sorted(self):
+        rng = np.random.default_rng(2)
+        positions = rng.uniform(0, 12, size=(150, 2))
+        bands = frequency_bands(rng.uniform(4.8, 9.6, size=150), 0.15)
+        a, b = grid_candidate_pairs(positions, 1.5, bands=bands)
+        keys = a * 150 + b
+        assert (a < b).all()
+        assert np.unique(keys).size == keys.size
+        assert (np.diff(keys) > 0).all()  # dense-candidate ordering
+
+    def test_banding_prunes_off_band_candidates(self):
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0, 6, size=(200, 2))  # spatially dense
+        freqs = np.repeat(np.linspace(5.0, 9.0, 8), 25)  # 8 far levels
+        rng.shuffle(freqs)
+        bands = frequency_bands(freqs, 0.1)
+        a_all, _ = grid_candidate_pairs(positions, 2.0)
+        a_band, _ = grid_candidate_pairs(positions, 2.0, bands=bands)
+        assert a_band.size < a_all.size / 2  # most pairs never generated
+
+    def test_banded_provider_matches_unbanded_results(self):
+        """End to end: banding must not change the final pair set."""
+        problem = build_problem(build_netlist(get_topology("grid-25")),
+                                PlacerConfig())
+        rng = np.random.default_rng(4)
+        for trial in range(3):
+            positions = problem.initial_positions \
+                + rng.normal(0, 1.5, size=(problem.num_instances, 2))
+            banded = PrunedCollisionPairs(
+                problem.frequencies, problem.resonator_index,
+                problem.config.detuning_threshold_ghz,
+                cutoff_mm=3.0, skin_mm=1.0, band_pairs=True)
+            plain = PrunedCollisionPairs(
+                problem.frequencies, problem.resonator_index,
+                problem.config.detuning_threshold_ghz,
+                cutoff_mm=3.0, skin_mm=1.0, band_pairs=False)
+            pairs_b, index_b = banded.pairs(positions)
+            pairs_p, index_p = plain.pairs(positions)
+            assert np.array_equal(pairs_b, pairs_p)
+            assert np.array_equal(index_b, index_p)
+            assert banded.peak_candidates <= plain.peak_candidates

@@ -126,3 +126,51 @@ class TestDisorderedLayout:
                      positions=np.zeros((1, 2)))
         with pytest.raises(ValueError):
             disordered_layout(lay)
+
+
+class TestDisorderProperties:
+    """Property-style guarantees of the disorder model (ISSUE 6)."""
+
+    def test_seeded_determinism_across_calls(self, netlist):
+        """Same seed -> identical netlist, element for element."""
+        a = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.03,
+                                     sigma_resonator_ghz=0.02, seed=11)
+        b = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.03,
+                                     sigma_resonator_ghz=0.02, seed=11)
+        assert [q.frequency for q in a.qubits] \
+            == [q.frequency for q in b.qubits]
+        assert [r.frequency for r in a.resonators] \
+            == [r.frequency for r in b.resonators]
+        c = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.03,
+                                     sigma_resonator_ghz=0.02, seed=12)
+        assert [q.frequency for q in a.qubits] \
+            != [q.frequency for q in c.qubits]
+
+    def test_zero_disorder_is_the_identity(self, netlist):
+        out = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.0,
+                                       sigma_resonator_ghz=0.0, seed=5)
+        assert [q.frequency for q in out.qubits] \
+            == [q.frequency for q in netlist.qubits]
+        assert [r.frequency for r in out.resonators] \
+            == [r.frequency for r in netlist.resonators]
+
+    def test_disorder_magnitude_monotonicity(self, netlist):
+        """More sigma -> more mean displacement, averaged over seeds.
+
+        Clipping at the band edges caps individual deviations, so the
+        property is statistical: the seed-averaged mean |delta f| must
+        be non-decreasing across an increasing sigma ladder.
+        """
+        targets = np.array([q.frequency for q in netlist.qubits])
+        sigmas = (0.005, 0.02, 0.08)
+        means = []
+        for sigma in sigmas:
+            deltas = []
+            for seed in range(8):
+                noisy = apply_frequency_disorder(
+                    netlist, sigma_qubit_ghz=sigma,
+                    sigma_resonator_ghz=0.0, seed=seed)
+                real = np.array([q.frequency for q in noisy.qubits])
+                deltas.append(np.abs(real - targets).mean())
+            means.append(float(np.mean(deltas)))
+        assert means[0] < means[1] < means[2]

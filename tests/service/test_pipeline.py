@@ -97,3 +97,63 @@ class TestFidelityPipeline:
         direct = fidelity_experiment(suite, ("bv-4", "ising-4"),
                                      num_mappings=2)
         assert result["fidelity"] == json.loads(json.dumps(direct))
+
+
+class TestWarmStartPipeline:
+    """Warm-starting place requests from the artifact store (ISSUE 6)."""
+
+    def test_warm_start_seeds_from_stored_placement(self, client):
+        cold = client.run("place", {
+            "topology": "grid-25", "strategies": ["qplacer"],
+            "config": FAST}, timeout=300)
+        assert "warm_start" not in cold
+        warm = client.run("place", {
+            "topology": "grid-25", "strategies": ["qplacer"],
+            "config": FAST, "warm_start": True}, timeout=300)
+        assert warm["warm_start"]["seeded"] is True
+        assert isinstance(warm["warm_start"]["source_digest"], str)
+        entry = warm["strategies"]["qplacer"]
+        assert entry["metrics"]["amer_mm2"] > 0
+        assert entry["iterations"] >= 1
+
+    def test_warm_start_without_source_falls_back_cold(self, client):
+        result = client.run("place", {
+            "topology": "falcon-27", "strategies": ["qplacer"],
+            "config": FAST, "warm_start": True, "seed": 7}, timeout=300)
+        assert result["warm_start"] == {"seeded": False,
+                                        "source_digest": None}
+        assert result["strategies"]["qplacer"]["metrics"]["amer_mm2"] > 0
+
+    def test_warm_and_cold_requests_digest_differently(self):
+        from repro.service.requests import parse_request
+        from repro.service.store import request_digest
+
+        cold = parse_request("place", {"topology": "grid-25"})
+        warm = parse_request("place", {"topology": "grid-25",
+                                       "warm_start": True})
+        assert request_digest("place", cold) != request_digest("place", warm)
+
+    def test_warm_start_positions_helper(self, tmp_path):
+        import numpy as np
+
+        from repro.analysis.experiments import warm_start_positions
+        from repro.service.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        store.put("aa" * 32, {
+            "topology": "grid-25", "segment_size_mm": 0.3,
+            "strategies": {
+                "qplacer": {"layout": {"positions": [[1.0, 2.0]]}},
+            }},
+            metadata={"kind": "place", "created_at": 10.0,
+                      "request": {"topology": "grid-25",
+                                  "segment_size_mm": 0.3}})
+        seeds, source = warm_start_positions(
+            store, "grid-25", 0.3, ("qplacer", "classic", "human"))
+        assert source == "aa" * 32
+        assert np.array_equal(seeds["qplacer"], [[1.0, 2.0]])
+        # classic falls back to the only stored layout; human never seeds
+        assert np.array_equal(seeds["classic"], [[1.0, 2.0]])
+        assert "human" not in seeds
+        assert warm_start_positions(store, "falcon-27", 0.3,
+                                    ("qplacer",)) == ({}, None)

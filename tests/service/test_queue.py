@@ -138,6 +138,80 @@ class TestCoalescedCancellation:
         assert b_view.state == DONE
 
 
+class TestClaimedCancellation:
+    """The worker-side settle path for cancelled running jobs.
+
+    A running job whose cancel flag is honoured must release its digest
+    from the dedup index — otherwise every later identical submission
+    coalesces onto the dead job and hangs forever (the ISSUE 6 race).
+    """
+
+    def test_cancel_claimed_releases_digest(self, queue):
+        queue.submit("place", _place())
+        job = queue.claim(timeout=0.1)
+        assert queue.cancel(job.job_id) is False  # best-effort flag
+        queue.cancel_claimed(job.job_id)
+        assert job.state == CANCELLED
+        assert queue.cancelled == 1
+        # the regression: without the release this would coalesce onto
+        # the dead job and the submitter would poll forever
+        again, disp = queue.submit("place", _place())
+        assert disp == "queued" and again.job_id != job.job_id
+
+    def test_cancel_claimed_is_noop_on_settled_jobs(self, queue):
+        queue.submit("place", _place())
+        job = queue.claim(timeout=0.1)
+        queue.fail(job.job_id, "boom")
+        queue.cancel_claimed(job.job_id)  # racing settle: no effect
+        assert job.state == FAILED
+        assert queue.cancelled == 0 and queue.failed == 1
+
+    def test_cancel_claimed_ignores_queued_jobs(self, queue):
+        job, _ = queue.submit("place", _place())
+        queue.cancel_claimed(job.job_id)
+        assert job.state == QUEUED  # producers cancel via cancel()
+
+    def test_stale_settle_cannot_evict_successor_dedup_entry(self, queue):
+        """After a cancel settles job A, a straggling fail() from A's
+        worker must not drop the *new* job B now owning the digest."""
+        queue.submit("place", _place())
+        a = queue.claim(timeout=0.1)
+        queue.cancel_claimed(a.job_id)
+        b, disp = queue.submit("place", _place())
+        assert disp == "queued"
+        queue.fail(a.job_id, "late worker settle")  # A's zombie thread
+        _, disp = queue.submit("place", _place())
+        assert disp == "coalesced"  # B's entry survived the stale pop
+
+    def test_threaded_cancel_during_execution(self, queue):
+        """End-to-end: a worker honouring the flag via JobCancelled."""
+        from repro.service.queue import JobCancelled
+
+        started = threading.Event()
+        release = threading.Event()
+        job, _ = queue.submit("place", _place())
+
+        def worker():
+            claimed = queue.claim(timeout=1.0)
+            started.set()
+            release.wait(timeout=5.0)
+            try:
+                if claimed.cancel_requested:
+                    raise JobCancelled()
+            except JobCancelled:
+                queue.cancel_claimed(claimed.job_id)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert started.wait(timeout=5.0)
+        assert queue.cancel(job.job_id) is False  # running: flag only
+        release.set()
+        thread.join(timeout=5.0)
+        assert job.state == CANCELLED
+        again, disp = queue.submit("place", _place())
+        assert disp == "queued" and again.job_id != job.job_id
+
+
 class TestPriorityUpgrade:
     def test_high_priority_duplicate_upgrades_queued_job(self, queue):
         first, _ = queue.submit("place", _place(seed=1), priority="low")

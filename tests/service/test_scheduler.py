@@ -141,3 +141,98 @@ class TestExecution:
         assert metrics["busy_workers"] == 0
         assert metrics["worker_utilization"] == 0.0
         assert metrics["computations"] == 0
+
+
+class TestCancellationRaces:
+    """ISSUE 6: cancellation/abort paths must always release the digest."""
+
+    def test_executor_honouring_cancel_settles_as_cancelled(self, stack):
+        from repro.service.queue import CANCELLED, JobCancelled
+
+        store, queue = stack
+        started = threading.Event()
+        release = threading.Event()
+
+        def executor(request, ctx, job):
+            started.set()
+            release.wait(timeout=5)
+            if job.cancel_requested:
+                raise JobCancelled()
+            return {"ok": True}
+
+        scheduler = _scheduler(queue, store, executor, workers=1)
+        scheduler.start()
+        try:
+            job, _ = queue.submit("place", _place())
+            assert started.wait(timeout=5)
+            assert queue.cancel(job.job_id) is False  # running: flag only
+            release.set()
+            deadline = time.time() + 5
+            while queue.get(job.job_id).state != CANCELLED:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            # no artifact was stored and the digest is free again
+            assert store.get(job.digest) is None
+            again, disp = queue.submit("place", _place())
+            assert disp == "queued" and again.job_id != job.job_id
+        finally:
+            release.set()
+            scheduler.stop()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_base_exception_in_executor_releases_digest(self, stack):
+        """SystemExit out of an executor used to kill the worker thread
+        with the job stuck RUNNING — every later identical submission
+        then coalesced onto the zombie and hung forever.  (The re-raise
+        that kills the thread is deliberate, hence the warning filter.)"""
+        store, queue = stack
+
+        def executor(request, ctx, job):
+            raise SystemExit(3)
+
+        scheduler = _scheduler(queue, store, executor, workers=1)
+        scheduler.start()
+        try:
+            job, _ = queue.submit("place", _place())
+            deadline = time.time() + 5
+            while queue.get(job.job_id).state != FAILED:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            assert "SystemExit" in queue.get(job.job_id).error
+            # the regression check: a resubmit must start fresh, not
+            # coalesce onto the dead job
+            again, disp = queue.submit("place", _place())
+            assert disp == "queued" and again.job_id != job.job_id
+        finally:
+            scheduler.stop()
+
+    def test_cancel_before_claim_skips_execution(self, stack):
+        from repro.service.queue import CANCELLED
+
+        store, queue = stack
+        calls = []
+
+        def executor(request, ctx, job):
+            calls.append(job.job_id)
+            return {"ok": True}
+
+        scheduler = _scheduler(queue, store, executor, workers=1)
+        # cancel lands between queueing and the claim: mark the flag
+        # directly (a coalesced job's cancel cannot flip QUEUED state)
+        job, _ = queue.submit("place", _place())
+        queue.submit("place", _place())  # coalesce: cancel won't kill it
+        assert queue.cancel(job.job_id) is False
+        assert queue.cancel(job.job_id) is False
+        job.cancel_requested = True  # the claim-window race, forced
+        scheduler.start()
+        try:
+            deadline = time.time() + 5
+            while queue.get(job.job_id).state != CANCELLED:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            assert calls == []  # never executed
+            again, disp = queue.submit("place", _place())
+            assert disp == "queued"
+        finally:
+            scheduler.stop()

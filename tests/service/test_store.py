@@ -157,3 +157,62 @@ class TestSchemaInvalidation:
         # The lookup under the new version is a clean miss — no crash,
         # no stale data.
         assert store.get(new_digest) is None
+
+
+class TestNearestPlacement:
+    """The warm-start lookup scanning stored place artifacts."""
+
+    def _place_artifact(self, store, digest, topology, created_at,
+                        segment_size_mm=0.3, with_layout=True,
+                        positions=((1.0, 2.0), (3.0, 4.0))):
+        strategies = {"qplacer": {"metrics": {}}}
+        if with_layout:
+            strategies["qplacer"]["layout"] = {
+                "format": "repro.layout.v1", "topology": topology,
+                "positions": [list(p) for p in positions]}
+        store.put(digest, {"topology": topology,
+                           "segment_size_mm": segment_size_mm,
+                           "strategies": strategies},
+                  metadata={"kind": "place", "created_at": created_at,
+                            "request": {"topology": topology,
+                                        "segment_size_mm": segment_size_mm}})
+
+    def test_empty_store_returns_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).nearest_placement("grid-25") is None
+
+    def test_matches_topology_and_segment_size(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._place_artifact(store, "aa" * 32, "grid-25", 100.0)
+        self._place_artifact(store, "bb" * 32, "falcon-27", 200.0)
+        record = store.nearest_placement("grid-25", segment_size_mm=0.3)
+        assert record is not None and record.digest == "aa" * 32
+        assert store.nearest_placement("grid-25",
+                                       segment_size_mm=0.5) is None
+        assert store.nearest_placement("hummingbird-65") is None
+
+    def test_newest_created_at_wins(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._place_artifact(store, "aa" * 32, "grid-25", 100.0)
+        self._place_artifact(store, "cc" * 32, "grid-25", 300.0)
+        self._place_artifact(store, "bb" * 32, "grid-25", 200.0)
+        record = store.nearest_placement("grid-25")
+        assert record.digest == "cc" * 32
+
+    def test_ignores_layoutless_and_foreign_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._place_artifact(store, "aa" * 32, "grid-25", 100.0,
+                             with_layout=False)
+        store.put("dd" * 32, {"rows": []}, metadata={"kind": "map"})
+        torn = store.path("ee" * 32)
+        torn.parent.mkdir(parents=True, exist_ok=True)
+        torn.write_text('{"format": "repro.artifact.v1", "metadata"')
+        assert store.nearest_placement("grid-25") is None
+        self._place_artifact(store, "ff" * 32, "grid-25", 50.0)
+        assert store.nearest_placement("grid-25").digest == "ff" * 32
+
+    def test_scan_does_not_skew_hit_metrics(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._place_artifact(store, "aa" * 32, "grid-25", 100.0)
+        hits, misses = store.hits, store.misses
+        store.nearest_placement("grid-25")
+        assert (store.hits, store.misses) == (hits, misses)

@@ -29,6 +29,76 @@ class TestParser:
         assert args.benchmarks == "bv-4,qgan-4"
 
 
+class TestBackendArgValidation:
+    """Parse-time validation of the engine switches (ISSUE 6).
+
+    Bad values must die in argparse with the valid choices listed —
+    never reach (and crash inside) the placement engine.
+    """
+
+    def _error_of(self, capsys, argv):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2
+        return capsys.readouterr().err
+
+    def test_interaction_backend_rejects_unknown(self, capsys):
+        err = self._error_of(capsys, ["place", "grid-25",
+                                      "--interaction-backend", "gpu"])
+        assert "'auto', 'dense', 'sparse'" in err
+
+    def test_incremental_density_rejects_unknown(self, capsys):
+        err = self._error_of(capsys, ["place", "grid-25",
+                                      "--incremental-density", "maybe"])
+        assert "'auto', 'on', 'off'" in err
+
+    def test_flush_interval_rejects_nonpositive(self, capsys):
+        err = self._error_of(capsys, ["place", "grid-25",
+                                      "--density-flush-interval", "0"])
+        assert "positive integer" in err
+
+    def test_flush_interval_rejects_noninteger(self, capsys):
+        err = self._error_of(capsys, ["place", "grid-25",
+                                      "--density-flush-interval", "two"])
+        assert "positive integer" in err
+
+    def test_move_threshold_rejects_negative(self, capsys):
+        err = self._error_of(capsys, ["place", "grid-25",
+                                      "--density-move-threshold", "-0.5"])
+        assert "non-negative" in err
+
+    def test_freq_pair_banding_rejects_unknown(self, capsys):
+        err = self._error_of(capsys, ["place", "grid-25",
+                                      "--freq-pair-banding", "yes"])
+        assert "'on', 'off'" in err
+
+    def test_switches_reach_the_config(self):
+        from repro.cli import _config_from
+
+        args = build_parser().parse_args(
+            ["place", "grid-25", "--incremental-density", "on",
+             "--density-flush-interval", "4",
+             "--density-move-threshold", "0.02",
+             "--freq-pair-banding", "off"])
+        config = _config_from(args)
+        assert config.incremental_density == "on"
+        assert config.density_flush_interval == 4
+        assert config.density_move_threshold_mm == 0.02
+        assert config.freq_pair_banding is False
+
+    def test_config_level_validation_lists_choices(self):
+        from repro.core.config import PlacerConfig
+
+        with pytest.raises(ValueError, match=r"'auto', 'on', 'off'"):
+            PlacerConfig(incremental_density="sometimes")
+        with pytest.raises(ValueError, match=r"'auto', 'dense', 'sparse'"):
+            PlacerConfig(interaction_backend="cuda")
+        with pytest.raises(ValueError, match=r">= 1"):
+            PlacerConfig(density_flush_interval=0)
+        with pytest.raises(ValueError, match=r">= 0"):
+            PlacerConfig(density_move_threshold_mm=-1.0)
+
+
 class TestCommands:
     def test_topologies(self, capsys):
         assert main(["topologies"]) == 0
