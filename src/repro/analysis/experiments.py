@@ -28,7 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import constants
+from .. import constants, profiling
 from ..baselines.human import human_layout
 from ..circuits.library import PAPER_BENCHMARKS, get_benchmark
 from ..circuits.mapping import MappedCircuit, evaluation_mappings
@@ -529,6 +529,11 @@ def placement_payload(suite: PlacementSuite, segment_size_mm: float,
             entry["num_cells"] = result.num_cells
             entry["iterations"] = result.iterations
             entry["runtime_s"] = result.runtime_s
+            entry["legalize"] = asdict(result.legalize_stats)
+            entry["detailed"] = (asdict(result.detailed_stats)
+                                 if result.detailed_stats is not None
+                                 else None)
+            entry["phases"] = dict(result.phase_profile)
         if include_layouts:
             entry["layout"] = layout_to_dict(layout, segment_size_mm)
         strategies[name] = entry
@@ -587,6 +592,16 @@ def warm_start_positions(store, topology: str, segment_size_mm: float,
     return seeds, record.digest
 
 
+def _accumulate_payload_phases(payload: Dict[str, object]) -> None:
+    """Fold a place payload's per-strategy phase timings into the
+    process-global profile (the service's ``/metrics`` ``"phases"``
+    block).  Runs in the service process even when the placement itself
+    ran in a worker — the payload carries the timings across."""
+    for entry in payload.get("strategies", {}).values():
+        if isinstance(entry, dict) and entry.get("phases"):
+            profiling.accumulate(entry["phases"])
+
+
 def run_place_request(topology: str, segment_size_mm: float,
                       strategies: Sequence[str], seed: int,
                       config: Optional[PlacerConfig],
@@ -617,6 +632,7 @@ def run_place_request(topology: str, segment_size_mm: float,
                                         include_layouts=include_layouts)
             payload["warm_start"] = {"seeded": True,
                                      "source_digest": source}
+            _accumulate_payload_phases(payload)
             return payload
     job = PlacementJob(topology=topology, segment_size_mm=segment_size_mm,
                        strategies=tuple(strategies), config=config,
@@ -628,6 +644,7 @@ def run_place_request(topology: str, segment_size_mm: float,
         # Requested but nothing to seed from: record the cold fallback
         # so clients can tell the two cases apart.
         payload["warm_start"] = {"seeded": False, "source_digest": None}
+    _accumulate_payload_phases(payload)
     return payload
 
 

@@ -62,7 +62,12 @@ from ..io.serialization import canonical_json
 #:    (both re-key every config-bearing digest), and sparse-backend
 #:    topologies (condor tiers) converge along a different numeric
 #:    trajectory under incremental density.
-CACHE_SCHEMA_VERSION = 5
+#: 6: placement telemetry — payload strategy entries grew ``legalize``
+#:    / ``detailed`` / ``phases`` blocks, PlacerConfig grew
+#:    ``detailed_passes`` / ``legalizer_screening``, and condor tiers
+#:    now run one detailed-placement pass by default (their cached
+#:    layouts change).
+CACHE_SCHEMA_VERSION = 6
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"

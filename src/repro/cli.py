@@ -3,6 +3,8 @@
 Commands:
 
 * ``place``     — place a topology and print/export the layout
+* ``profile``   — place a topology and print the per-phase runtime
+  breakdown (preprocess / global / legalize / detailed)
 * ``evaluate``  — Fig. 11/12/13 evaluation on one topology
 * ``evaluate-all`` — the whole paper evaluation across topologies,
   fanned over a process pool (``--jobs``) with an optional on-disk
@@ -90,6 +92,22 @@ def _nonnegative_float(text: str) -> float:
     return value
 
 
+def _detailed_passes(text: str) -> Optional[int]:
+    """argparse type: ``auto`` or an integer >= 0, parse-time checked."""
+    if text == "auto":
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a non-negative integer, "
+            f"got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a non-negative integer, got {value}")
+    return value
+
+
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--interaction-backend",
                         choices=("auto", "dense", "sparse"), default="auto",
@@ -116,6 +134,18 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
                         help="frequency-band the sparse neighbor-list "
                              "grid so non-resonant candidates are never "
                              "generated (default on)")
+    parser.add_argument("--detailed-passes", type=_detailed_passes,
+                        default=None, metavar="N|auto",
+                        help="detailed-placement sweeps after "
+                             "legalization: a count, 0 to disable, or "
+                             "auto = 1 on condor-scale topologies and 0 "
+                             "on the paper tiers (default auto)")
+    parser.add_argument("--legalizer-screening", choices=("hash", "scan"),
+                        default="hash",
+                        help="legalizer neighbor screening: spatial-hash "
+                             "buckets (default) or the reference "
+                             "full-array scan (identical layouts, for "
+                             "A/B timing)")
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -143,6 +173,10 @@ def _config_from(args: argparse.Namespace) -> PlacerConfig:
                             args, "incremental_density", "auto"),
                         freq_pair_banding=getattr(
                             args, "freq_pair_banding", "on") == "on",
+                        detailed_passes=getattr(
+                            args, "detailed_passes", None),
+                        legalizer_screening=getattr(
+                            args, "legalizer_screening", "hash"),
                         **extra)
 
 
@@ -174,7 +208,9 @@ def cmd_place(args: argparse.Namespace) -> int:
             incremental_density=config.incremental_density,
             density_flush_interval=config.density_flush_interval,
             density_move_threshold_mm=config.density_move_threshold_mm,
-            freq_pair_banding=config.freq_pair_banding)
+            freq_pair_banding=config.freq_pair_banding,
+            detailed_passes=config.detailed_passes,
+            legalizer_screening=config.legalizer_screening)
     netlist = build_netlist(get_topology(args.topology))
     result = QPlacer(config).place(netlist)
     metrics = compute_layout_metrics(result.layout)
@@ -200,6 +236,40 @@ def cmd_place(args: argparse.Namespace) -> int:
     if args.json:
         save_layout(result.layout, args.json,
                     segment_size_mm=args.segment_size)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Place a topology and print its per-phase runtime breakdown."""
+    import json
+
+    config = _config_from(args)
+    if args.classic:
+        from dataclasses import replace
+        config = replace(config, frequency_aware=False,
+                         legalize_integration=False,
+                         chain_aware_tetris=False)
+    netlist = build_netlist(get_topology(args.topology))
+    result = QPlacer(config).place(netlist)
+    phases = result.phase_profile
+    top_total = sum(s for path, s in phases.items() if "/" not in path)
+    rows = []
+    for path in sorted(phases, key=lambda p: (p.split("/")[0], p)):
+        seconds = phases[path]
+        share = (f"{100.0 * seconds / top_total:.1f}%"
+                 if "/" not in path and top_total > 0 else "")
+        rows.append([path, f"{seconds:.3f}", share])
+    rows.append(["(wall clock)", f"{result.runtime_s:.3f}", "100.0%"])
+    print(format_table(["phase", "seconds", "share"], rows,
+                       title=f"Placement phases — {args.topology} "
+                             f"({result.num_cells} cells)"))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"topology": args.topology,
+                       "num_cells": result.num_cells,
+                       "runtime_s": result.runtime_s,
+                       "phases": phases}, fh, indent=2)
         print(f"wrote {args.json}")
     return 0
 
@@ -357,6 +427,7 @@ SHARD_CONTEXT_KEYS = (
     "topology", "workloads", "shard_count", "num_mappings", "base_seed",
     "strategies", "placement_seed", "segment_size_mm",
     "interaction_backend", "incremental_density",
+    "detailed_passes", "legalizer_screening",
 )
 
 
@@ -375,6 +446,8 @@ def _shard_payload(args: argparse.Namespace, names: tuple,
         "segment_size_mm": args.segment_size,
         "interaction_backend": args.interaction_backend,
         "incremental_density": args.incremental_density,
+        "detailed_passes": args.detailed_passes,
+        "legalizer_screening": args.legalizer_screening,
         "fidelity": fidelity,
     }
 
@@ -510,6 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gds", help="write a GDSII export to this path")
     p.add_argument("--json", help="write a JSON serialisation to this path")
     p.set_defaults(func=cmd_place)
+
+    p = sub.add_parser("profile",
+                       help="place one topology and print the per-phase "
+                            "runtime breakdown")
+    _add_common_placer_args(p)
+    p.add_argument("--classic", action="store_true",
+                   help="profile the frequency-oblivious Classic baseline")
+    p.add_argument("--json", help="write the phase breakdown to this path")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("evaluate",
                        help="Fig. 11/12/13 evaluation on one topology")

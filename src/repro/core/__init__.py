@@ -16,7 +16,8 @@ from .interactions import (
     grid_candidate_pairs,
     resolve_backend,
 )
-from .legalizer import Legalizer, LegalizeStats, legalize
+from .legalizer import (Legalizer, LegalizeStats, SpiralExhaustedError,
+                        legalize)
 from .optimizer import NesterovOptimizer, OptimizerState
 from .placer import PlacementResult, QPlacer, place_topology
 from .preprocess import PlacementProblem, build_problem
@@ -38,6 +39,7 @@ __all__ = [
     "IterationStats",
     "Legalizer",
     "LegalizeStats",
+    "SpiralExhaustedError",
     "NesterovOptimizer",
     "OptimizerState",
     "PlacementProblem",

@@ -55,6 +55,10 @@ class PlacerConfig:
     Attributes:
         legalize_integration: Run the integration-aware repair (Alg. 1).
         spiral_max_radius_sites: Search bound of the greedy spiral.
+        detailed_passes: Post-legalization refinement sweeps; ``None``
+            resolves per problem size (:meth:`resolved_detailed_passes`).
+        legalizer_screening: ``"hash"`` (spatial-hash candidate screen)
+            or ``"scan"`` (full-array mask baseline).
 
     Spatial interaction backend (:mod:`repro.core.interactions`):
 
@@ -108,8 +112,16 @@ class PlacerConfig:
     legalize_integration: bool = True
     chain_aware_tetris: bool = True
     spiral_max_radius_sites: int = 64
-    #: Detailed-placement refinement sweeps after legalization (0 = off).
-    detailed_passes: int = 0
+    #: Detailed-placement refinement sweeps after legalization.
+    #: ``None`` = auto: one pass on sparse-resolved (condor-class)
+    #: problems where the vectorized engine makes it affordable, none on
+    #: the dense paper tiers (whose layouts stay bit-identical).
+    detailed_passes: Optional[int] = None
+    #: Candidate screening of the legalizer's feasibility checks:
+    #: ``"hash"`` queries the linked-cell spatial hash (superset screen,
+    #: identical verdicts), ``"scan"`` keeps the full-array mask path —
+    #: the pre-hash baseline the perf bench measures against.
+    legalizer_screening: str = "hash"
 
     # spatial interaction backend (see repro.core.interactions)
     #: ``"auto"`` (size-based), ``"dense"``, or ``"sparse"``.
@@ -152,6 +164,16 @@ class PlacerConfig:
             raise ValueError("need at least 8 density bins per axis")
         if self.max_iterations < self.min_iterations:
             raise ValueError("max_iterations must be >= min_iterations")
+        if self.detailed_passes is not None and self.detailed_passes < 0:
+            raise ValueError("detailed_passes must be >= 0 (or None for "
+                             f"auto), got {self.detailed_passes}")
+        if self.legalizer_screening not in ("hash", "scan"):
+            raise ValueError(
+                f"legalizer_screening must be one of ('hash', 'scan'), "
+                f"got {self.legalizer_screening!r}")
+        if self.spiral_max_radius_sites < 0:
+            raise ValueError("spiral_max_radius_sites must be >= 0, got "
+                             f"{self.spiral_max_radius_sites}")
         if self.interaction_backend not in ("auto", "dense", "sparse"):
             raise ValueError(
                 f"interaction_backend must be one of ('auto', 'dense', "
@@ -194,6 +216,19 @@ class PlacerConfig:
         from .interactions import resolve_backend
         return resolve_backend(self.interaction_backend, num_instances,
                                self.sparse_min_instances)
+
+    def resolved_detailed_passes(self, num_instances: int) -> int:
+        """Concrete detailed-placement pass count for a problem size.
+
+        ``None`` (auto) follows the interaction backend: condor-class
+        (sparse-resolved) problems get one pass — affordable since the
+        vectorized swap engine — while the dense paper tiers skip
+        refinement and keep their bit-identical legalized layouts.
+        """
+        if self.detailed_passes is not None:
+            return self.detailed_passes
+        return 1 if self.resolved_interaction_backend(num_instances) \
+            == "sparse" else 0
 
     def resolved_incremental_density(self, num_instances: int) -> bool:
         """Whether the density field updates incrementally at this size.

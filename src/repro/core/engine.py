@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import profiling
 from .config import PlacerConfig
 from .density import DensityGrid
 from .frequency_force import frequency_energy_and_grad
@@ -226,6 +227,10 @@ class GlobalPlacer:
 
     def run(self) -> GlobalPlaceResult:
         """Execute the penalty schedule until the overflow target."""
+        with profiling.phase("global"):
+            return self._run()
+
+    def _run(self) -> GlobalPlaceResult:
         cfg = self.config
         start = (self._warm_start if self._warm_start is not None
                  else self.problem.initial_positions)

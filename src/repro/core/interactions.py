@@ -320,6 +320,43 @@ class RequiredGapTable:
         """Required gaps from instance ``i`` to the instances ``js``."""
         return self.row(i, strict)[js]
 
+    def pairs(self, i: int, js: np.ndarray, strict: bool) -> np.ndarray:
+        """Required gaps from ``i`` to ``js`` in O(len(js)).
+
+        Elementwise identical to ``row(i, strict)[js]`` but never
+        materialises the full row — the sparse backend's answer to
+        hash-screened neighbourhoods, where ``js`` holds a handful of
+        nearby instances out of thousands.
+        """
+        if self._strict_matrix is not None:
+            return (self._strict_matrix if strict
+                    else self._relaxed_matrix)[i, js]
+        js = np.asarray(js, dtype=np.int64)
+        res = self._res
+        ri = int(res[i])
+        res_js = res[js]
+        intended = ((res_js == ri) if ri >= 0
+                    else np.zeros(js.shape[0], dtype=bool))
+        # Membership sets here hold 1-4 ids; direct comparisons beat
+        # np.isin's sort-based machinery by ~40x at this size.
+        rids = self._attached.get(i)
+        if rids is not None:
+            for r in rids.tolist():
+                intended = intended | (res_js == r)
+        if ri >= 0:
+            partners = self._qubits_of_resonator.get(ri)
+            if partners is not None:
+                for q in partners.tolist():
+                    intended = intended | (js == q)
+        clear_req = 0.5 * (self._clear[i] + self._clear[js])
+        if not strict:
+            return np.where(intended, 0.0, clear_req)
+        resonant = (np.abs(self._freqs[i] - self._freqs[js])
+                    <= self._threshold)
+        pad_req = self._pads[i] + self._pads[js]
+        return np.where(intended, 0.0,
+                        np.where(resonant, pad_req, clear_req))
+
 
 # ---------------------------------------------------------------------------
 # distance-pruned frequency collision pairs (engine)

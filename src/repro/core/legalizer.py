@@ -45,12 +45,41 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from .. import profiling
 from .config import PlacerConfig
 from .interactions import RequiredGapTable
 from .preprocess import PlacementProblem
 
 #: Comparison slack absorbing float rounding in gap/required comparisons.
 _TOL = 1e-9
+
+
+class SpiralExhaustedError(RuntimeError):
+    """The greedy spiral found no feasible site within its search bound.
+
+    Attributes:
+        instance: Instance index that could not be placed.
+        rings_attempted: Chebyshev rings screened (``spiral_max_radius_
+            sites + 1`` including ring 0).
+        sites_attempted: Total lattice sites screened.
+        neighbors_in_reach: Placed instances inside the outermost ring's
+            interaction reach of the target.
+        densest_cell_count: Occupancy of the most crowded hash-cell-
+            sized neighbourhood among those neighbours.
+        densest_cell_mm: Centre ``(x, y)`` of that neighbourhood.
+    """
+
+    def __init__(self, message: str, *, instance: int, rings_attempted: int,
+                 sites_attempted: int, neighbors_in_reach: int,
+                 densest_cell_count: int,
+                 densest_cell_mm: Tuple[float, float]) -> None:
+        super().__init__(message)
+        self.instance = instance
+        self.rings_attempted = rings_attempted
+        self.sites_attempted = sites_attempted
+        self.neighbors_in_reach = neighbors_in_reach
+        self.densest_cell_count = densest_cell_count
+        self.densest_cell_mm = densest_cell_mm
 
 
 @dataclass
@@ -66,6 +95,8 @@ class LegalizeStats:
         integration_failures: Resonators left disconnected after repair.
         integration_moves: Segments moved during integration repair.
         integration_swaps: Segment swaps during integration repair.
+        phase_seconds: Per-phase wall-clock of the run (``"legalize"``,
+            ``"legalize/qubits"``, ... — see :mod:`repro.profiling`).
     """
 
     qubit_displacement_mm: float = 0.0
@@ -74,36 +105,120 @@ class LegalizeStats:
     integration_failures: int = 0
     integration_moves: int = 0
     integration_swaps: int = 0
+    #: Wall-clock telemetry is excluded from equality: two runs
+    #: that produced the same layout compare equal.
+    phase_seconds: Dict[str, float] = field(default_factory=dict,
+                                            compare=False)
+
+
+#: Packed cell keys: ``(cx + OFFSET) * STRIDE + (cy + OFFSET)``.  With
+#: cell sizes >= 0.5 mm, |cx| < 2**20 covers coordinates to ~500 km —
+#: far past any chip region — and the packed key fits int64 (< 2**42).
+_KEY_OFFSET = 1 << 20
+_KEY_STRIDE = 1 << 21
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_IDS.setflags(write=False)
 
 
 class _SpatialHash:
-    """Uniform-grid index of placed instances for local queries."""
+    """Flat linked-cell index of placed instances.
 
-    def __init__(self, cell_size: float) -> None:
-        self.cell = cell_size
-        self._buckets: Dict[Tuple[int, int], Set[int]] = {}
-        self._where: Dict[int, Tuple[int, int]] = {}
+    Cell membership lives in three preallocated int64 arrays — ``_next``
+    / ``_prev`` intrusive list links and ``_cell`` (the packed cell key
+    an instance currently occupies, ``-1`` when absent) — plus one dict
+    from packed cell key to list head.  Adds and removes are O(1)
+    pointer splices with no per-bucket set/list churn, and batched
+    queries (:meth:`near_many`) walk every covered cell exactly once.
+    """
 
-    def _key(self, x: float, y: float) -> Tuple[int, int]:
-        return (int(math.floor(x / self.cell)), int(math.floor(y / self.cell)))
+    def __init__(self, cell_size: float, capacity: int) -> None:
+        self.cell = float(cell_size)
+        self._next = np.full(capacity, -1, dtype=np.int64)
+        self._prev = np.full(capacity, -1, dtype=np.int64)
+        self._cell = np.full(capacity, -1, dtype=np.int64)
+        self._heads: Dict[int, int] = {}
+
+    def _key(self, x: float, y: float) -> int:
+        return ((int(math.floor(x / self.cell)) + _KEY_OFFSET) * _KEY_STRIDE
+                + int(math.floor(y / self.cell)) + _KEY_OFFSET)
 
     def add(self, idx: int, x: float, y: float) -> None:
         key = self._key(x, y)
-        self._buckets.setdefault(key, set()).add(idx)
-        self._where[idx] = key
+        head = self._heads.get(key, -1)
+        self._next[idx] = head
+        self._prev[idx] = -1
+        if head >= 0:
+            self._prev[head] = idx
+        self._heads[key] = idx
+        self._cell[idx] = key
 
     def remove(self, idx: int) -> None:
-        key = self._where.pop(idx, None)
-        if key is not None:
-            self._buckets.get(key, set()).discard(idx)
+        key = int(self._cell[idx])
+        if key < 0:
+            return
+        nxt = int(self._next[idx])
+        prv = int(self._prev[idx])
+        if prv >= 0:
+            self._next[prv] = nxt
+        elif nxt >= 0:
+            self._heads[key] = nxt
+        else:
+            del self._heads[key]
+        if nxt >= 0:
+            self._prev[nxt] = prv
+        self._cell[idx] = -1
+
+    def move(self, idx: int, x: float, y: float) -> None:
+        self.remove(idx)
+        self.add(idx, x, y)
+
+    def _collect(self, keys: np.ndarray) -> np.ndarray:
+        """All member indices of the given packed cell keys."""
+        out: List[int] = []
+        heads = self._heads
+        nxt = self._next
+        for key in keys.tolist():
+            j = heads.get(key, -1)
+            while j >= 0:
+                out.append(j)
+                j = int(nxt[j])
+        if not out:
+            return _EMPTY_IDS
+        return np.asarray(out, dtype=np.int64)
+
+    def near_many(self, xs: np.ndarray, ys: np.ndarray,
+                  radius: float) -> np.ndarray:
+        """Instances within ``radius`` (per axis) of ANY query point.
+
+        Returns a superset: every placed instance whose centre lies
+        within ``radius`` on both axes of at least one ``(xs, ys)``
+        point is included (each exactly once — an instance occupies one
+        cell), plus whatever else shares the covered cells.
+        """
+        span = int(math.ceil(radius / self.cell))
+        cx = np.floor(np.asarray(xs, dtype=float) / self.cell).astype(np.int64)
+        cy = np.floor(np.asarray(ys, dtype=float) / self.cell).astype(np.int64)
+        offs = np.arange(-span, span + 1, dtype=np.int64)
+        gx = cx[:, None, None] + offs[None, :, None]
+        gy = cy[:, None, None] + offs[None, None, :]
+        keys = np.unique((gx + _KEY_OFFSET) * _KEY_STRIDE
+                         + (gy + _KEY_OFFSET))
+        return self._collect(keys)
+
+    def near_array(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Single-point :meth:`near_many` (superset of true neighbours)."""
+        span = int(math.ceil(radius / self.cell))
+        kx = int(math.floor(x / self.cell))
+        ky = int(math.floor(y / self.cell))
+        offs = np.arange(-span, span + 1, dtype=np.int64)
+        keys = (((kx + offs[:, None] + _KEY_OFFSET) * _KEY_STRIDE)
+                + ky + offs[None, :] + _KEY_OFFSET).ravel()
+        return self._collect(keys)
 
     def near(self, x: float, y: float, radius: float) -> Iterable[int]:
         """Indices of instances whose centres may lie within ``radius``."""
-        span = int(math.ceil(radius / self.cell))
-        kx, ky = self._key(x, y)
-        for dx in range(-span, span + 1):
-            for dy in range(-span, span + 1):
-                yield from self._buckets.get((kx + dx, ky + dy), ())
+        yield from self.near_array(x, y, radius).tolist()
 
 
 @lru_cache(maxsize=16)
@@ -153,7 +268,14 @@ class Legalizer:
         max_half = float(np.max(p.sizes)) / 2.0
         max_gap = float(2.0 * np.max(p.paddings))
         self._interact_radius = 2.0 * max_half + max_gap + 1e-6
-        self._hash = _SpatialHash(cell_size=max(self._interact_radius, 0.5))
+        self._hash = _SpatialHash(cell_size=max(self._interact_radius, 0.5),
+                                  capacity=p.num_instances)
+        #: "hash" screens candidate neighbourhoods through the spatial
+        #: hash (superset queries — verdicts identical by construction);
+        #: "scan" keeps the pre-hash full-array mask path for A/B runs.
+        self._screening = self.config.legalizer_screening
+        self._txn: Optional[List[Tuple[int, Tuple[float, float]]]] = None
+        self._segs_by_res: Optional[Dict[int, List[int]]] = None
         self._qubit_pitch = self.config.qubit_site_pitch_mm(
             float(p.sizes[p.is_qubit][:, 0].max()) if p.is_qubit.any() else 0.4)
         self._segment_pitch = self.config.segment_site_pitch_mm()
@@ -203,21 +325,45 @@ class Legalizer:
                 & (np.abs(pos[:, 0] - x) <= reach)
                 & (np.abs(pos[:, 1] - y) <= reach))
 
+    def _screen(self, js: np.ndarray, i: int,
+                ignore: Tuple[int, ...]) -> np.ndarray:
+        """Drop ``i`` and ``ignore`` from a hash query result."""
+        if js.size == 0:
+            return js
+        keep = js != i
+        for j in ignore:
+            keep &= js != j
+        return js[keep]
+
     def _can_place(self, i: int, x: float, y: float,
                    ignore: Tuple[int, ...] = (),
                    enforce_resonant: Optional[bool] = None) -> bool:
-        """Check all spacing rules for instance ``i`` at ``(x, y)``."""
+        """Check all spacing rules for instance ``i`` at ``(x, y)``.
+
+        The neighbourhood screen — hash cells or a full-array mask,
+        per ``config.legalizer_screening`` — only decides *which*
+        instances get a gap check; any instance beyond the interaction
+        radius passes trivially (its gap exceeds every possible
+        requirement), so both screens produce identical verdicts.
+        """
         if enforce_resonant is None:
             enforce_resonant = self.config.frequency_aware
-        mask = self._neighbor_mask(x, y, self._interact_radius)
-        mask[i] = False
-        for j in ignore:
-            mask[j] = False
-        js = np.flatnonzero(mask)
-        if js.size == 0:
-            return True
+        if self._screening == "scan":
+            mask = self._neighbor_mask(x, y, self._interact_radius)
+            mask[i] = False
+            for j in ignore:
+                mask[j] = False
+            js = np.flatnonzero(mask)
+            if js.size == 0:
+                return True
+            req = self._req.lookup(i, js, enforce_resonant)
+        else:
+            js = self._screen(
+                self._hash.near_array(x, y, self._interact_radius), i, ignore)
+            if js.size == 0:
+                return True
+            req = self._req.pairs(i, js, enforce_resonant)
         gaps = self._gaps_to(js, i, x, y)
-        req = self._req.lookup(i, js, enforce_resonant)
         return bool(np.all(gaps >= req - _TOL))
 
     def _first_feasible_site(self, i: int, sites: Sequence[Tuple[float, float]],
@@ -235,15 +381,22 @@ class Legalizer:
         if enforce_resonant is None:
             enforce_resonant = self.config.frequency_aware
         arr = np.asarray(sites, dtype=float)
-        cx = 0.5 * (arr[:, 0].min() + arr[:, 0].max())
-        cy = 0.5 * (arr[:, 1].min() + arr[:, 1].max())
-        reach = (max(arr[:, 0].max() - cx, arr[:, 1].max() - cy)
-                 + self._interact_radius)
-        mask = self._neighbor_mask(cx, cy, reach)
-        mask[i] = False
-        for j in ignore:
-            mask[j] = False
-        js = np.flatnonzero(mask)
+        if self._screening == "scan":
+            cx = 0.5 * (arr[:, 0].min() + arr[:, 0].max())
+            cy = 0.5 * (arr[:, 1].min() + arr[:, 1].max())
+            reach = (max(arr[:, 0].max() - cx, arr[:, 1].max() - cy)
+                     + self._interact_radius)
+            mask = self._neighbor_mask(cx, cy, reach)
+            mask[i] = False
+            for j in ignore:
+                mask[j] = False
+            js = np.flatnonzero(mask)
+            req = self._req.lookup(i, js, enforce_resonant) if js.size else None
+        else:
+            js = self._screen(
+                self._hash.near_many(arr[:, 0], arr[:, 1],
+                                     self._interact_radius), i, ignore)
+            req = self._req.pairs(i, js, enforce_resonant) if js.size else None
         if js.size == 0:
             return (float(arr[0, 0]), float(arr[0, 1]))
         pos = self.positions[js]
@@ -256,7 +409,6 @@ class Legalizer:
         gaps = np.where((gx > 0.0) | (gy > 0.0),
                         np.sqrt(gxc * gxc + gyc * gyc),
                         np.maximum(gx, gy))
-        req = self._req.lookup(i, js, enforce_resonant)
         ok = np.all(gaps >= req[None, :] - _TOL, axis=1)
         hits = np.flatnonzero(ok)
         if hits.size == 0:
@@ -297,17 +449,30 @@ class Legalizer:
             enforce_resonant = self.config.frequency_aware
         base_x = round(target[0] / pitch) * pitch
         base_y = round(target[1] / pitch) * pitch
-        req_row = self._req.row(i, enforce_resonant)
+        scan = self._screening == "scan"
+        req_row = self._req.row(i, enforce_resonant) if scan else None
         offs = self._offsets_arr
         max_ring = self.config.spiral_max_radius_sites
         for ring in range(max_ring + 1):
             lo, hi = _ring_bounds(ring)
             sx = base_x + offs[lo:hi, 0] * pitch
             sy = base_y + offs[lo:hi, 1] * pitch
-            mask = self._neighbor_mask(
-                base_x, base_y, ring * pitch + self._interact_radius)
-            mask[i] = False
-            js = np.flatnonzero(mask)
+            if scan:
+                mask = self._neighbor_mask(
+                    base_x, base_y, ring * pitch + self._interact_radius)
+                mask[i] = False
+                js = np.flatnonzero(mask)
+                req = req_row[js] if js.size else None
+            else:
+                # Hash screen per ring: the union of each site's
+                # interaction ball covers the ring's perimeter, not the
+                # whole disc the scan mask sweeps — on large rings that
+                # is the difference between O(ring) and O(ring^2) work.
+                js = self._screen(
+                    self._hash.near_many(sx, sy, self._interact_radius),
+                    i, ())
+                req = (self._req.pairs(i, js, enforce_resonant)
+                       if js.size else None)
             if js.size == 0:
                 ok = np.ones(hi - lo, dtype=bool)
             else:
@@ -321,7 +486,7 @@ class Legalizer:
                 gaps = np.where((gx > 0.0) | (gy > 0.0),
                                 np.sqrt(gxc * gxc + gyc * gyc),
                                 np.maximum(gx, gy))
-                ok = np.all(gaps >= req_row[js][None, :] - _TOL, axis=1)
+                ok = np.all(gaps >= req[None, :] - _TOL, axis=1)
             for k in np.flatnonzero(ok):
                 yield (float(sx[k]), float(sy[k]))
 
@@ -342,9 +507,41 @@ class Legalizer:
                 self.stats.resonant_relaxations += 1
                 self._place(i, x, y)
                 return True
-        raise RuntimeError(
-            f"legalizer spiral exhausted for instance {i}; "
-            f"increase spiral_max_radius_sites")
+        raise self._spiral_exhausted(i, target, pitch)
+
+    def _spiral_exhausted(self, i: int, target: np.ndarray,
+                          pitch: float) -> SpiralExhaustedError:
+        """Diagnose an exhausted spiral: how crowded was the window?"""
+        max_ring = self.config.spiral_max_radius_sites
+        rings = max_ring + 1
+        sites = (2 * max_ring + 1) ** 2
+        reach = max_ring * pitch + self._interact_radius
+        mask = self._neighbor_mask(float(target[0]), float(target[1]), reach)
+        mask[i] = False
+        crowd = int(np.count_nonzero(mask))
+        cell = self._hash.cell
+        densest_count = 0
+        densest_xy = (float(target[0]), float(target[1]))
+        js = np.flatnonzero(mask)
+        if js.size:
+            keys = np.floor(self.positions[js] / cell).astype(np.int64)
+            uniq, counts = np.unique(keys, axis=0, return_counts=True)
+            k = int(np.argmax(counts))
+            densest_count = int(counts[k])
+            densest_xy = (float((uniq[k, 0] + 0.5) * cell),
+                          float((uniq[k, 1] + 0.5) * cell))
+        return SpiralExhaustedError(
+            f"legalizer spiral exhausted for instance {i}: no feasible "
+            f"site in {rings} rings ({sites} lattice sites, pitch "
+            f"{pitch:.3f} mm) around ({float(target[0]):.2f}, "
+            f"{float(target[1]):.2f}); {crowd} placed neighbours within "
+            f"{reach:.2f} mm reach, densest {cell:.2f} mm cell holds "
+            f"{densest_count} instances near ({densest_xy[0]:.2f}, "
+            f"{densest_xy[1]:.2f}); increase spiral_max_radius_sites or "
+            f"lower the region density (whitespace_factor)",
+            instance=i, rings_attempted=rings, sites_attempted=sites,
+            neighbors_in_reach=crowd, densest_cell_count=densest_count,
+            densest_cell_mm=densest_xy)
 
     # -- phase 1: qubits ------------------------------------------------------------
 
@@ -591,12 +788,21 @@ class Legalizer:
         return False
 
     def _segments_by_resonator(self) -> Dict[int, List[int]]:
-        groups: Dict[int, List[int]] = {}
-        for i in range(self.problem.num_instances):
-            r = int(self.problem.resonator_index[i])
-            if r >= 0:
-                groups.setdefault(r, []).append(i)
-        return groups
+        """Resonator id -> its segment indices (cached; do not mutate).
+
+        A pure function of the problem, not of positions — the detailed
+        placer's contiguity guard calls this per candidate move, so the
+        grouping is built once per legalizer.
+        """
+        if self._segs_by_res is None:
+            groups: Dict[int, List[int]] = {}
+            res = self.problem.resonator_index
+            for i in range(self.problem.num_instances):
+                r = int(res[i])
+                if r >= 0:
+                    groups.setdefault(r, []).append(i)
+            self._segs_by_res = groups
+        return self._segs_by_res
 
     def _repair_resonator(self, seg_ids: Sequence[int], relaxed: bool) -> bool:
         """One repair sweep over a disconnected resonator; True = moved."""
@@ -728,16 +934,107 @@ class Legalizer:
             self._rebuild_resonator(multi[r], enforce_resonant=False)
         self.stats.integration_failures = len(disconnected())
 
+    # -- public batch-move API (detailed placement & friends) ----------------------------
+
+    def load(self, positions: np.ndarray) -> None:
+        """Adopt an externally produced legal layout, placing everything.
+
+        The entry point for refinement stages: hand the legalizer a
+        finished layout, then mutate it through :meth:`try_moves` /
+        :meth:`commit` / :meth:`rollback` without touching internals.
+        """
+        if positions.shape != self.positions.shape:
+            raise ValueError("position array shape mismatch")
+        for i in range(self.problem.num_instances):
+            self._place(i, float(positions[i, 0]), float(positions[i, 1]))
+
+    def neighbors(self, x: float, y: float, radius_mm: float) -> np.ndarray:
+        """Placed instances whose centres may lie within ``radius_mm``.
+
+        A superset screen (hash-cell resolution) — callers needing the
+        exact set must distance-filter the result.
+        """
+        if self._screening == "scan":
+            return np.flatnonzero(self._neighbor_mask(x, y, radius_mm))
+        return self._hash.near_array(x, y, radius_mm)
+
+    def try_moves(self, moves: Sequence[Tuple[int, Tuple[float, float]]],
+                  enforce_resonant: Optional[bool] = None) -> bool:
+        """Atomically relocate a batch of placed instances.
+
+        Every target site must satisfy the spacing rules (against the
+        layout with all movers lifted) and every affected resonator must
+        stay contiguous.  On success the movers sit at their new sites
+        and the transaction stays open until :meth:`commit` or
+        :meth:`rollback`; on failure the layout is untouched and False
+        is returned.
+        """
+        if self._txn is not None:
+            raise RuntimeError(
+                "a batch-move transaction is already open; "
+                "commit() or rollback() it first")
+        originals = [(int(i), (float(self.positions[i, 0]),
+                               float(self.positions[i, 1])))
+                     for i, _ in moves]
+
+        def restore() -> None:
+            for i, _ in moves:
+                if int(i) in self._placed:
+                    self._unplace(int(i))
+            for i, (x, y) in originals:
+                self._place(i, x, y)
+
+        for i, _ in moves:
+            self._unplace(int(i))
+        for i, (x, y) in moves:
+            if not self._can_place(int(i), float(x), float(y),
+                                   enforce_resonant=enforce_resonant):
+                restore()
+                return False
+            self._place(int(i), float(x), float(y))
+        by_res = self._segments_by_resonator()
+        res_idx = self.problem.resonator_index
+        for r in {int(res_idx[int(i)]) for i, _ in moves}:
+            if r >= 0 and len(by_res[r]) > 1 \
+                    and len(self._clusters(by_res[r])) > 1:
+                restore()
+                return False
+        self._txn = originals
+        return True
+
+    def commit(self) -> None:
+        """Finalise the open batch-move transaction."""
+        if self._txn is None:
+            raise RuntimeError("no open batch-move transaction")
+        self._txn = None
+
+    def rollback(self) -> None:
+        """Undo the open batch-move transaction, restoring old sites."""
+        if self._txn is None:
+            raise RuntimeError("no open batch-move transaction")
+        originals = self._txn
+        self._txn = None
+        for i, _ in originals:
+            self._unplace(i)
+        for i, (x, y) in originals:
+            self._place(i, x, y)
+
     # -- entry point ---------------------------------------------------------------------
 
     def run(self, global_positions: np.ndarray) -> Tuple[np.ndarray, LegalizeStats]:
         """Legalize ``global_positions``; returns (positions, stats)."""
         if global_positions.shape != self.positions.shape:
             raise ValueError("position array shape mismatch")
-        self._legalize_qubits(global_positions)
-        self._legalize_segments(global_positions)
-        if self.config.legalize_integration:
-            self._integrate_resonators()
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("legalize"):
+                with profiling.phase("qubits"):
+                    self._legalize_qubits(global_positions)
+                with profiling.phase("segments"):
+                    self._legalize_segments(global_positions)
+                if self.config.legalize_integration:
+                    with profiling.phase("integrate"):
+                        self._integrate_resonators()
+        self.stats.phase_seconds = prof.flat_seconds()
         return self.positions.copy(), self.stats
 
 

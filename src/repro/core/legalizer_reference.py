@@ -52,27 +52,10 @@ from .config import PlacerConfig
 from .preprocess import PlacementProblem
 
 
-@dataclass
-class LegalizeStats:
-    """Telemetry of one legalization run.
-
-    Attributes:
-        qubit_displacement_mm: Total qubit movement from global result.
-        segment_displacement_mm: Total segment movement.
-        resonant_relaxations: Sites accepted despite a resonant-spacing
-            shortfall (spiral exhausted) — these become residual
-            hotspots, the paper's nonzero Qplacer ``Ph``.
-        integration_failures: Resonators left disconnected after repair.
-        integration_moves: Segments moved during integration repair.
-        integration_swaps: Segment swaps during integration repair.
-    """
-
-    qubit_displacement_mm: float = 0.0
-    segment_displacement_mm: float = 0.0
-    resonant_relaxations: int = 0
-    integration_failures: int = 0
-    integration_moves: int = 0
-    integration_swaps: int = 0
+# The reference shares the live telemetry dataclass so the two
+# implementations stay field-compatible (``phase_seconds`` simply stays
+# empty on this unprofiled path).
+from .legalizer import LegalizeStats  # noqa: E402
 
 
 class _SpatialHash:

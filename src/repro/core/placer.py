@@ -15,13 +15,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
+from .. import profiling
 from ..devices.layout import Layout
 from ..devices.netlist import QuantumNetlist
 from .config import PlacerConfig
+from .detailed import DetailedPlaceStats
 from .engine import GlobalPlacer, GlobalPlaceResult
 from .legalizer import LegalizeStats, legalize
 from .preprocess import PlacementProblem, build_problem
@@ -39,6 +41,12 @@ class PlacementResult:
         global_result: Optimizer telemetry.
         legalize_stats: Legalizer telemetry.
         runtime_s: Wall-clock duration of the whole flow.
+        detailed_stats: Detailed-placement telemetry (None when the
+            resolved pass count is 0).
+        phase_profile: Per-phase wall-clock of the run
+            (:mod:`repro.profiling` paths: ``"preprocess"``,
+            ``"global"``, ``"legalize"``, ``"legalize/qubits"``, ...,
+            ``"detailed"``); top-level entries sum to ~``runtime_s``.
     """
 
     layout: Layout
@@ -47,6 +55,8 @@ class PlacementResult:
     global_result: GlobalPlaceResult
     legalize_stats: LegalizeStats
     runtime_s: float
+    detailed_stats: Optional[DetailedPlaceStats] = None
+    phase_profile: Dict[str, float] = field(default_factory=dict)
 
     @property
     def num_cells(self) -> int:
@@ -87,17 +97,22 @@ class QPlacer:
                 same topology); ``None`` uses the seeded default.
         """
         start = time.perf_counter()
-        problem = build_problem(netlist, self.config)
-        engine = GlobalPlacer(problem, self.config,
-                              initial_positions=initial_positions)
-        global_result = engine.run()
-        legal_positions, legalize_stats = legalize(
-            problem, global_result.positions, self.config)
-        if self.config.detailed_passes > 0:
-            from .detailed import refine_placement
-            legal_positions, _ = refine_placement(
-                problem, legal_positions, self.config,
-                max_passes=self.config.detailed_passes)
+        detailed_stats: Optional[DetailedPlaceStats] = None
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("preprocess"):
+                problem = build_problem(netlist, self.config)
+            engine = GlobalPlacer(problem, self.config,
+                                  initial_positions=initial_positions)
+            global_result = engine.run()
+            legal_positions, legalize_stats = legalize(
+                problem, global_result.positions, self.config)
+            passes = self.config.resolved_detailed_passes(
+                problem.num_instances)
+            if passes > 0:
+                from .detailed import refine_placement
+                legal_positions, detailed_stats = refine_placement(
+                    problem, legal_positions, self.config,
+                    max_passes=passes)
         runtime = time.perf_counter() - start
 
         layout = Layout(
@@ -119,6 +134,8 @@ class QPlacer:
             global_result=global_result,
             legalize_stats=legalize_stats,
             runtime_s=runtime,
+            detailed_stats=detailed_stats,
+            phase_profile=prof.flat_seconds(),
         )
 
 

@@ -1,0 +1,208 @@
+"""Phase-level timing for the placement pipeline.
+
+Every pipeline stage (global engine, legalizer, detailed placer,
+evaluation) brackets its work with :func:`phase` context managers.  The
+timers are *passive*: when no :class:`PhaseProfiler` is active on the
+current thread, ``phase()`` returns a shared no-op context manager —
+one thread-local attribute read — so instrumented hot paths cost
+nothing in production runs that don't ask for a profile.
+
+Phases nest.  A phase entered while another is open records under the
+joined path (``"legalize/qubits"``), so one profile captures both the
+coarse stage split and the per-stage breakdown.  Summing only the
+*top-level* paths (no ``"/"``) therefore approximates the profiled
+wall-clock without double counting.
+
+Profilers themselves nest too: activating a :class:`PhaseProfiler`
+inside an active one captures locally, then folds the recorded phases
+back into the enclosing profiler (prefixed with its open phase path) on
+exit.  That lets :meth:`repro.core.placer.QPlacer.place` always produce
+a per-placement profile while still contributing to a caller's capture.
+
+A process-global aggregate (guarded by a lock) backs the service
+``/metrics`` endpoint: worker-side profiles travel inside placement
+payloads and are folded in with :func:`accumulate` by the service
+process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Mapping, Optional, Union
+
+__all__ = [
+    "PhaseProfiler",
+    "phase",
+    "current",
+    "accumulate",
+    "global_phases",
+    "reset_global_phases",
+]
+
+_tls = threading.local()
+
+
+class _NullPhase:
+    """Shared no-op context manager for disabled profiling."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """One open phase on one profiler; records elapsed time on exit."""
+
+    __slots__ = ("_prof", "_name", "_t0")
+
+    def __init__(self, prof: "PhaseProfiler", name: str) -> None:
+        self._prof = prof
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._prof._stack.append(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        prof = self._prof
+        path = "/".join(prof._stack)
+        prof._stack.pop()
+        prof.seconds[path] = prof.seconds.get(path, 0.0) + elapsed
+        prof.calls[path] = prof.calls.get(path, 0) + 1
+        return False
+
+
+class PhaseProfiler:
+    """Collects ``{phase path: seconds}`` while active on a thread.
+
+    Use as a context manager::
+
+        with PhaseProfiler() as prof:
+            with phase("legalize"):
+                with phase("qubits"):
+                    ...
+        prof.flat_seconds()  # {"legalize": ..., "legalize/qubits": ...}
+
+    Entering pushes the profiler as the thread's active one; exiting
+    restores the previous profiler (if any) and folds the captured
+    phases into it under its currently-open phase path.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._stack: list = []
+        self._parent: Optional[PhaseProfiler] = None
+
+    def __enter__(self) -> "PhaseProfiler":
+        self._parent = getattr(_tls, "active", None)
+        _tls.active = self
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _tls.active = self._parent
+        parent = self._parent
+        self._parent = None
+        if parent is not None:
+            prefix = "/".join(parent._stack)
+            for path, secs in self.seconds.items():
+                full = f"{prefix}/{path}" if prefix else path
+                parent.seconds[full] = parent.seconds.get(full, 0.0) + secs
+                parent.calls[full] = (parent.calls.get(full, 0)
+                                      + self.calls.get(path, 1))
+        return False
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, path: str, seconds: float, calls: int = 1) -> None:
+        """Manually add elapsed time to a phase path."""
+        self.seconds[path] = self.seconds.get(path, 0.0) + float(seconds)
+        self.calls[path] = self.calls.get(path, 0) + int(calls)
+
+    # -- views -------------------------------------------------------------
+
+    def flat_seconds(self) -> Dict[str, float]:
+        """``{path: seconds}`` snapshot (a copy)."""
+        return dict(self.seconds)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{path: {"seconds": s, "calls": n}}`` snapshot."""
+        return {path: {"seconds": secs,
+                       "calls": self.calls.get(path, 0)}
+                for path, secs in self.seconds.items()}
+
+    def top_level_seconds(self) -> float:
+        """Sum of depth-1 phases — approximates profiled wall-clock."""
+        return sum(secs for path, secs in self.seconds.items()
+                   if "/" not in path)
+
+
+def phase(name: str) -> Union[_Phase, _NullPhase]:
+    """Context manager timing one named phase on the active profiler.
+
+    A no-op (shared singleton, no allocation beyond the attribute read)
+    when the current thread has no active profiler.
+    """
+    prof = getattr(_tls, "active", None)
+    if prof is None:
+        return _NULL_PHASE
+    return _Phase(prof, name)
+
+
+def current() -> Optional[PhaseProfiler]:
+    """The thread's active profiler, or None."""
+    return getattr(_tls, "active", None)
+
+
+# ---------------------------------------------------------------------------
+# process-global aggregate (service /metrics)
+# ---------------------------------------------------------------------------
+
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL_SECONDS: Dict[str, float] = {}
+_GLOBAL_CALLS: Dict[str, int] = {}
+
+
+def accumulate(phases: Mapping[str, object]) -> None:
+    """Fold a phase mapping into the process-global aggregate.
+
+    Accepts either ``{path: seconds}`` or the richer
+    ``{path: {"seconds": s, "calls": n}}`` form (what
+    :meth:`PhaseProfiler.as_dict` emits), so payload-borne profiles can
+    be folded in directly.
+    """
+    with _GLOBAL_LOCK:
+        for path, value in phases.items():
+            if isinstance(value, Mapping):
+                secs = float(value.get("seconds", 0.0))
+                calls = int(value.get("calls", 1))
+            else:
+                secs = float(value)
+                calls = 1
+            _GLOBAL_SECONDS[path] = _GLOBAL_SECONDS.get(path, 0.0) + secs
+            _GLOBAL_CALLS[path] = _GLOBAL_CALLS.get(path, 0) + calls
+
+
+def global_phases() -> Dict[str, Dict[str, float]]:
+    """Snapshot of the process-global aggregate."""
+    with _GLOBAL_LOCK:
+        return {path: {"seconds": secs,
+                       "calls": _GLOBAL_CALLS.get(path, 0)}
+                for path, secs in _GLOBAL_SECONDS.items()}
+
+
+def reset_global_phases() -> None:
+    """Clear the process-global aggregate (tests, service restarts)."""
+    with _GLOBAL_LOCK:
+        _GLOBAL_SECONDS.clear()
+        _GLOBAL_CALLS.clear()

@@ -32,6 +32,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from .. import profiling
 from ..analysis.runner import ParallelRunner
 from .queue import JobQueue
 from .requests import RequestError, check_options, parse_request
@@ -337,4 +338,7 @@ class PlacementService:
             "runner_cache_hits": runner.cache_hits,
             "runner_cache_misses": runner.cache_misses,
         })
+        # Per-phase placement seconds accumulated by every place request
+        # this process has executed (see :mod:`repro.profiling`).
+        merged["phases"] = profiling.global_phases()
         return merged

@@ -28,6 +28,22 @@ class TestBuildSuite:
     def test_all_strategies_present(self, suite):
         assert set(suite.layouts) == {"qplacer", "classic", "human"}
         assert suite.results["human"] is None
+
+
+class TestPlacementPayloadTelemetry:
+    def test_strategy_entries_carry_stats_and_phases(self, suite):
+        from repro.analysis.experiments import placement_payload
+
+        payload = placement_payload(suite, 0.3, include_layouts=False)
+        entry = payload["strategies"]["qplacer"]
+        assert set(entry) >= {"metrics", "num_cells", "iterations",
+                              "runtime_s", "legalize", "detailed", "phases"}
+        assert entry["legalize"]["qubit_displacement_mm"] >= 0
+        assert entry["legalize"]["phase_seconds"]["legalize"] > 0
+        assert entry["detailed"] is None  # dense tier: 0 passes resolved
+        assert entry["phases"]["legalize"] > 0
+        # The human baseline has no PlacementResult, hence no telemetry.
+        assert "phases" not in payload["strategies"]["human"]
         assert suite.results["qplacer"] is not None
 
     def test_shared_netlist(self, suite):

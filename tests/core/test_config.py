@@ -52,10 +52,32 @@ class TestValidation:
         {"whitespace_factor": 1.5},
         {"num_bins": 4},
         {"max_iterations": 10, "min_iterations": 20},
+        {"detailed_passes": -1},
+        {"legalizer_screening": "octree"},
+        {"spiral_max_radius_sites": -1},
     ])
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
             PlacerConfig(**kwargs)
+
+    def test_screening_error_lists_choices(self):
+        with pytest.raises(ValueError, match="hash.*scan"):
+            PlacerConfig(legalizer_screening="octree")
+
+
+class TestDetailedPasses:
+    def test_auto_follows_backend(self):
+        cfg = PlacerConfig()
+        assert cfg.detailed_passes is None
+        assert cfg.resolved_detailed_passes(100) == 0  # dense paper tier
+        assert cfg.resolved_detailed_passes(
+            cfg.sparse_min_instances + 1) == 1  # condor tier
+
+    def test_explicit_count_wins(self):
+        assert PlacerConfig(detailed_passes=0).resolved_detailed_passes(
+            10_000) == 0
+        assert PlacerConfig(detailed_passes=3).resolved_detailed_passes(
+            10) == 3
 
 
 class TestDerived:

@@ -1,0 +1,111 @@
+"""Unit tests for the phase-timer layer (:mod:`repro.profiling`)."""
+
+import threading
+
+import pytest
+
+from repro import profiling
+
+
+@pytest.fixture(autouse=True)
+def _clean_global():
+    profiling.reset_global_phases()
+    yield
+    profiling.reset_global_phases()
+
+
+class TestPhaseContext:
+    def test_noop_without_active_profiler(self):
+        # Must not raise, must not record anywhere.
+        with profiling.phase("orphan"):
+            pass
+        assert profiling.current() is None
+
+    def test_records_seconds_and_calls(self):
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("alpha"):
+                pass
+            with profiling.phase("alpha"):
+                pass
+        assert prof.calls["alpha"] == 2
+        assert prof.seconds["alpha"] >= 0.0
+
+    def test_nested_phases_build_slash_paths(self):
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("outer"):
+                with profiling.phase("inner"):
+                    pass
+        flat = prof.flat_seconds()
+        assert set(flat) == {"outer", "outer/inner"}
+        assert flat["outer"] >= flat["outer/inner"]
+
+    def test_top_level_excludes_subphases(self):
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("a"):
+                with profiling.phase("b"):
+                    pass
+            with profiling.phase("c"):
+                pass
+        assert prof.top_level_seconds() == pytest.approx(
+            prof.seconds["a"] + prof.seconds["c"])
+
+    def test_as_dict_shape(self):
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("x"):
+                pass
+        doc = prof.as_dict()
+        assert doc["x"]["calls"] == 1
+        assert doc["x"]["seconds"] >= 0.0
+
+
+class TestNestedProfilers:
+    def test_inner_profiler_folds_into_outer_with_prefix(self):
+        with profiling.PhaseProfiler() as outer:
+            with profiling.phase("stage"):
+                with profiling.PhaseProfiler() as inner:
+                    with profiling.phase("work"):
+                        pass
+        assert "work" in inner.seconds
+        # The inner capture lands in the outer profile under the path
+        # that was active when the inner profiler exited.
+        assert "stage/work" in outer.seconds
+        assert "stage" in outer.seconds
+
+    def test_profiler_restores_previous_active(self):
+        with profiling.PhaseProfiler() as outer:
+            with profiling.PhaseProfiler():
+                pass
+            assert profiling.current() is outer
+        assert profiling.current() is None
+
+    def test_thread_isolation(self):
+        seen = {}
+
+        def worker():
+            seen["active"] = profiling.current()
+
+        with profiling.PhaseProfiler():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["active"] is None
+
+
+class TestGlobalAggregate:
+    def test_accumulate_flat_seconds(self):
+        profiling.accumulate({"legalize": 1.5, "detailed": 0.5})
+        profiling.accumulate({"legalize": 0.5})
+        agg = profiling.global_phases()
+        assert agg["legalize"]["seconds"] == pytest.approx(2.0)
+        assert agg["legalize"]["calls"] == 2
+        assert agg["detailed"]["calls"] == 1
+
+    def test_accumulate_rich_dicts(self):
+        profiling.accumulate({"global": {"seconds": 2.0, "calls": 3}})
+        agg = profiling.global_phases()
+        assert agg["global"] == {"seconds": pytest.approx(2.0), "calls": 3}
+
+    def test_reset(self):
+        profiling.accumulate({"legalize": 1.0})
+        profiling.reset_global_phases()
+        assert profiling.global_phases() == {}

@@ -50,6 +50,28 @@ class TestPlacePipeline:
         assert layout.strategy == "qplacer"
         assert layout.positions.shape[1] == 2
 
+    def test_place_payload_carries_phase_telemetry(self, client):
+        result = client.run("place", {
+            "topology": "grid-25", "strategies": ["qplacer"],
+            "config": FAST}, timeout=300)
+        entry = result["strategies"]["qplacer"]
+        # Legalizer + detailed telemetry ride in the payload.
+        assert entry["legalize"]["phase_seconds"]["legalize"] > 0
+        assert entry["detailed"] is None  # grid-25 resolves to 0 passes
+        phases = entry["phases"]
+        assert {"preprocess", "global", "legalize"} <= set(phases)
+        top = sum(s for path, s in phases.items() if "/" not in path)
+        assert top <= 1.05 * entry["runtime_s"]
+
+    def test_metrics_aggregate_place_phases(self, client):
+        client.run("place", {"topology": "grid-25",
+                             "strategies": ["qplacer"],
+                             "config": FAST}, timeout=300)
+        metrics = client.metrics()
+        assert "legalize" in metrics["phases"]
+        assert metrics["phases"]["legalize"]["seconds"] > 0
+        assert metrics["phases"]["legalize"]["calls"] >= 1
+
 
 class TestMapPipeline:
     def test_map_summary_matches_direct_computation(self, client):

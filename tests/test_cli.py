@@ -98,6 +98,36 @@ class TestBackendArgValidation:
         with pytest.raises(ValueError, match=r">= 0"):
             PlacerConfig(density_move_threshold_mm=-1.0)
 
+    def test_detailed_passes_accepts_auto_and_counts(self):
+        parse = build_parser().parse_args
+        assert parse(["place", "grid-25",
+                      "--detailed-passes", "auto"]).detailed_passes is None
+        assert parse(["place", "grid-25",
+                      "--detailed-passes", "0"]).detailed_passes == 0
+        assert parse(["place", "grid-25",
+                      "--detailed-passes", "3"]).detailed_passes == 3
+
+    def test_detailed_passes_rejects_bad_values(self, capsys):
+        for bad in ("-1", "two", "1.5"):
+            err = self._error_of(capsys, ["place", "grid-25",
+                                          "--detailed-passes", bad])
+            assert "'auto' or a non-negative integer" in err
+
+    def test_legalizer_screening_rejects_unknown(self, capsys):
+        err = self._error_of(capsys, ["place", "grid-25",
+                                      "--legalizer-screening", "octree"])
+        assert "'hash', 'scan'" in err
+
+    def test_legalizer_switches_reach_the_config(self):
+        from repro.cli import _config_from
+
+        args = build_parser().parse_args(
+            ["place", "grid-25", "--detailed-passes", "2",
+             "--legalizer-screening", "scan"])
+        config = _config_from(args)
+        assert config.detailed_passes == 2
+        assert config.legalizer_screening == "scan"
+
 
 class TestCommands:
     def test_topologies(self, capsys):
@@ -134,6 +164,28 @@ class TestCommands:
     def test_unknown_topology_errors(self):
         with pytest.raises(KeyError):
             main(["place", "not-a-chip"])
+
+    def test_profile_round_trip(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "phases.json"
+        assert main(["profile", "grid-25", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "Placement phases" in out
+        assert "legalize" in out and "(wall clock)" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["topology"] == "grid-25"
+        assert doc["runtime_s"] > 0
+        phases = doc["phases"]
+        assert {"preprocess", "global", "legalize"} <= set(phases)
+        top = sum(s for path, s in phases.items() if "/" not in path)
+        assert 0.5 * doc["runtime_s"] <= top <= 1.05 * doc["runtime_s"]
+
+    def test_profile_forced_detailed_pass(self, capsys):
+        # grid-25 resolves dense (0 passes by default); forcing one
+        # must surface the "detailed" phase in the table.
+        assert main(["profile", "grid-25", "--detailed-passes", "1"]) == 0
+        assert "detailed" in capsys.readouterr().out
 
 
 class TestWorkloadCommands:
