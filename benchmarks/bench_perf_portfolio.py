@@ -1,0 +1,175 @@
+"""Placer-portfolio gates: fidelity ordering, SA scale, anytime refine.
+
+Three acceptance gates for the :mod:`repro.placers` subsystem, emitted
+as machine-readable JSON (``benchmarks/results/perf_portfolio.json``):
+
+* **portfolio fidelity** — racing the default member set and keeping
+  the argmax must never lose to the force-directed engine alone, on a
+  paper-tier topology and on ``eagle-127`` (ties break toward the
+  earlier member, and ``force`` races first, so the winning layout's
+  shared fidelity score is ``>=`` force's by construction — this gate
+  re-measures it end to end rather than trusting the tie rule);
+* **SA scale** — simulated annealing seeded from the trivial grid
+  placer completes ``eagle-127`` inside a wall-clock budget;
+* **refine monotonicity** — an anytime ``refine`` job against the real
+  HTTP service publishes a non-worsening cost stream over >= 3 rounds.
+
+``REPRO_BENCH_FULL=1`` runs paper-scale budgets; the default smoke mode
+shrinks engine iterations and annealing rounds so CI stays fast while
+exercising every code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from typing import Dict
+
+from repro.analysis.runner import ParallelRunner
+from repro.core.config import PlacerConfig
+from repro.devices.netlist import build_netlist
+from repro.devices.topology import get_topology
+from repro.placers import make_placer, score_layout
+from repro.service import PlacementService, ServiceClient
+
+from conftest import FULL, emit
+
+#: Topologies the fidelity-ordering gate covers: one paper-tier device
+#: plus the largest heavy-hex instance.
+PORTFOLIO_TOPOLOGIES = ("falcon-27", "eagle-127")
+
+#: Reduced engine budget for smoke mode (same shape as the service
+#: bench's FAST_CONFIG, plus small annealing budgets).
+SMOKE_OVERRIDES = dict(max_iterations=60, min_iterations=10, num_bins=32,
+                       sa_rounds=6, sa_moves_per_round=120,
+                       sa_probe_moves=24)
+
+#: SA-from-trivial must finish eagle-127 inside this wall-clock budget.
+SA_EAGLE_BUDGET_S = 600.0 if FULL else 240.0
+
+#: Minimum published refine rounds the monotonicity gate inspects.
+MIN_REFINE_ROUNDS = 3
+
+
+def _config(**overrides) -> PlacerConfig:
+    base = PlacerConfig() if FULL else PlacerConfig(**SMOKE_OVERRIDES)
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+def _portfolio_gate(topology_name: str) -> Dict[str, object]:
+    """Race the default portfolio and compare against force alone."""
+    netlist = build_netlist(get_topology(topology_name))
+
+    t0 = time.perf_counter()
+    force = make_placer(_config(placer="force")).place(netlist)
+    force_s = time.perf_counter() - t0
+    force_score = score_layout(force.layout)
+
+    portfolio = make_placer(_config(placer="portfolio")).place(netlist)
+    scores = dict(portfolio.portfolio_scores)
+    winner = max(scores, key=lambda member: scores[member])
+    return {
+        "topology": topology_name,
+        "force_score": force_score,
+        "force_s": round(force_s, 3),
+        "portfolio_score": score_layout(portfolio.layout),
+        "portfolio_s": round(portfolio.runtime_s, 3),
+        "member_scores": scores,
+        "member_seconds": {
+            key.split("/", 1)[1]: round(value, 3)
+            for key, value in portfolio.phase_profile.items()
+            if key.startswith("portfolio/")},
+        "winner": winner,
+    }
+
+
+def _sa_scale_gate() -> Dict[str, object]:
+    """SA seeded from the trivial grid placer completes eagle-127."""
+    netlist = build_netlist(get_topology("eagle-127"))
+    config = _config(placer="sa", sa_seed_placer="trivial")
+    placer = make_placer(config)
+    t0 = time.perf_counter()
+    result = placer.place(netlist)
+    elapsed = time.perf_counter() - t0
+    stats = placer.last_anneal_stats
+    return {
+        "topology": "eagle-127",
+        "budget_s": SA_EAGLE_BUDGET_S,
+        "elapsed_s": round(elapsed, 3),
+        "rounds": stats.rounds,
+        "attempted": stats.attempted,
+        "accepted": stats.accepted,
+        "initial_cost": round(stats.initial_cost, 3),
+        "best_cost": round(stats.best_cost, 3),
+        "score": score_layout(result.layout),
+        "num_cells": result.num_cells,
+    }
+
+
+def _refine_gate(store_dir, cache_dir) -> Dict[str, object]:
+    """Anytime refine over the live HTTP API publishes monotone costs."""
+    rounds = 8 if FULL else max(MIN_REFINE_ROUNDS + 1, 4)
+    svc = PlacementService(store_dir=store_dir, port=0, workers=1)
+    svc.scheduler.runner = ParallelRunner(max_workers=1,
+                                          cache_dir=cache_dir)
+    with svc:
+        client = ServiceClient(svc.base_url, timeout=60.0)
+        engine = {"max_iterations": 60, "min_iterations": 10,
+                  "num_bins": 32}
+        source = client.submit("place", {"topology": "grid-25",
+                                         "strategies": ["qplacer"],
+                                         "config": engine})
+        digest = client.wait(source["job_id"], timeout=300.0)["artifact"]
+        t0 = time.perf_counter()
+        refined = client.refine(digest, deadline_s=120.0, rounds=rounds,
+                                moves_per_round=60, timeout=300.0)
+        elapsed = time.perf_counter() - t0
+    costs = refined["published_costs"]
+    return {
+        "source_digest": digest,
+        "rounds_completed": refined["rounds_completed"],
+        "published_costs": costs,
+        "monotone": all(b <= a + 1e-9 for a, b in zip(costs, costs[1:])),
+        "score": refined["score"],
+        "elapsed_s": round(elapsed, 3),
+    }
+
+
+def test_perf_portfolio(results_dir, tmp_path):
+    report: Dict[str, object] = {
+        "bench": "perf_portfolio",
+        "mode": "full" if FULL else "smoke",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "portfolio": [_portfolio_gate(name)
+                      for name in PORTFOLIO_TOPOLOGIES],
+        "sa_scale": _sa_scale_gate(),
+        "refine": _refine_gate(tmp_path / "store", tmp_path / "cache"),
+    }
+
+    text = json.dumps(report, indent=2)
+    emit(results_dir, "perf_portfolio", text)
+    (results_dir / "perf_portfolio.json").write_text(text + "\n")
+
+    # -- gates ----------------------------------------------------------
+    for entry in report["portfolio"]:
+        assert entry["portfolio_score"] >= entry["force_score"] - 1e-12, \
+            (f"portfolio lost to force alone on {entry['topology']}: "
+             f"{entry['portfolio_score']} < {entry['force_score']}")
+        assert entry["member_scores"], "portfolio raced no members"
+
+    scale = report["sa_scale"]
+    assert scale["elapsed_s"] < scale["budget_s"], \
+        (f"SA-from-trivial took {scale['elapsed_s']}s on eagle-127 "
+         f"(budget {scale['budget_s']}s)")
+    assert scale["best_cost"] <= scale["initial_cost"] + 1e-9
+    assert 0.0 < scale["score"] <= 1.0
+
+    refine = report["refine"]
+    assert refine["rounds_completed"] >= MIN_REFINE_ROUNDS, \
+        f"refine published only {refine['rounds_completed']} rounds"
+    assert refine["monotone"], \
+        f"refine cost stream regressed: {refine['published_costs']}"
+    assert 0.0 < refine["score"] <= 1.0

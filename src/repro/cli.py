@@ -22,6 +22,9 @@ Commands:
 * ``serve``     — placement-as-a-service: HTTP API + job queue +
   content-addressed artifact store over the whole pipeline
   (``docs/service.md``)
+* ``refine``    — anytime simulated-annealing refinement of a stored
+  placement artifact through a running service, streaming each
+  published improvement (``docs/placers.md``)
 """
 
 from __future__ import annotations
@@ -47,7 +50,8 @@ from .analysis import (
 from .analysis.ablation import ablation_experiment
 from .analysis.experiments import run_full_evaluation
 from .analysis.runner import ParallelRunner
-from .core import PlacerConfig, QPlacer
+from .core import PlacerConfig
+from .core.config import PLACER_CHOICES
 
 #: Default benchmark subset for the evaluate commands (5 of the 8).
 DEFAULT_CLI_BENCHMARKS = ("bv-4", "bv-16", "qaoa-9", "ising-4", "qgan-4")
@@ -63,6 +67,12 @@ def _add_common_placer_args(parser: argparse.ArgumentParser) -> None:
                         help="resonator segment size lb in mm (default 0.3)")
     parser.add_argument("--seed", type=int, default=0,
                         help="placement seed (default 0)")
+    parser.add_argument("--placer", choices=PLACER_CHOICES,
+                        default="force",
+                        help="placement algorithm: the force-directed "
+                             "engine, simulated annealing, the trivial/"
+                             "subgraph seed placers, or a racing "
+                             "portfolio of members (default force)")
     _add_backend_arg(parser)
 
 
@@ -167,6 +177,7 @@ def _config_from(args: argparse.Namespace) -> PlacerConfig:
     if getattr(args, "density_move_threshold_mm", None) is not None:
         extra["density_move_threshold_mm"] = args.density_move_threshold_mm
     return PlacerConfig(segment_size_mm=args.segment_size, seed=args.seed,
+                        placer=getattr(args, "placer", "force"),
                         interaction_backend=getattr(
                             args, "interaction_backend", "auto"),
                         incremental_density=getattr(
@@ -204,6 +215,7 @@ def cmd_place(args: argparse.Namespace) -> int:
     if args.classic:
         config = PlacerConfig.classic(
             segment_size_mm=args.segment_size, seed=args.seed,
+            placer=config.placer,
             interaction_backend=args.interaction_backend,
             incremental_density=config.incremental_density,
             density_flush_interval=config.density_flush_interval,
@@ -211,8 +223,9 @@ def cmd_place(args: argparse.Namespace) -> int:
             freq_pair_banding=config.freq_pair_banding,
             detailed_passes=config.detailed_passes,
             legalizer_screening=config.legalizer_screening)
+    from .placers import make_placer
     netlist = build_netlist(get_topology(args.topology))
-    result = QPlacer(config).place(netlist)
+    result = make_placer(config).place(netlist)
     metrics = compute_layout_metrics(result.layout)
     rows = [
         ["strategy", result.layout.strategy],
@@ -225,6 +238,9 @@ def cmd_place(args: argparse.Namespace) -> int:
         ["impacted qubits", metrics.impacted_qubits],
         ["resonator integrity", f"{resonator_integrity(result.layout):.2f}"],
     ]
+    if result.portfolio_scores is not None:
+        for member, score in sorted(result.portfolio_scores.items()):
+            rows.append([f"portfolio {member}", f"{score:.6f}"])
     print(format_table(["quantity", "value"], rows,
                        title=f"Placement — {args.topology}"))
     if args.svg:
@@ -250,8 +266,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         config = replace(config, frequency_aware=False,
                          legalize_integration=False,
                          chain_aware_tetris=False)
+    from .placers import make_placer
     netlist = build_netlist(get_topology(args.topology))
-    result = QPlacer(config).place(netlist)
+    result = make_placer(config).place(netlist)
     phases = result.phase_profile
     top_total = sum(s for path, s in phases.items() if "/" not in path)
     rows = []
@@ -548,10 +565,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # then $REPRO_CACHE_DIR, then the service default
     # (<store-dir>/runner-cache).
     cache_dir = args.cache_dir or os.environ.get(CACHE_ENV_VAR) or None
+    token = args.shutdown_token \
+        or os.environ.get("REPRO_SHUTDOWN_TOKEN") or None
     service = PlacementService(
         store_dir=args.store_dir, host=args.host, port=args.port,
         workers=args.workers, runner_workers=args.jobs,
-        cache_dir=cache_dir, verbose=args.verbose)
+        cache_dir=cache_dir, verbose=args.verbose,
+        shutdown_token=token, store_max_bytes=args.store_max_bytes)
     service.start()
     print(f"repro service listening on {service.base_url} "
           f"(store: {service.store.root}, workers: {args.workers})",
@@ -562,6 +582,59 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     service.stop()
     print("repro service stopped", flush=True)
+    return 0
+
+
+def cmd_refine(args: argparse.Namespace) -> int:
+    """Submit a refine job and stream its published improvements."""
+    import time as _time
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit("refine", {
+            "source_digest": args.source_digest,
+            "strategy": args.strategy,
+            "deadline_s": args.deadline,
+            "rounds": args.rounds,
+            "moves_per_round": args.moves,
+            "seed": args.seed,
+        })
+    except ServiceError as exc:
+        print(f"refine submit failed: {exc}", file=sys.stderr)
+        return 1
+    job_id = job["job_id"]
+    print(f"refine job {job_id} (digest {job['digest'][:12]}…)")
+    last_published = 0
+    while True:
+        try:
+            record = client.job(job_id)
+        except ServiceError as exc:
+            print(f"lost the service: {exc}", file=sys.stderr)
+            return 1
+        progress = record.get("progress") or {}
+        published = progress.get("published", 0)
+        if published > last_published:
+            print(f"  round {published}: best cost "
+                  f"{progress.get('best_cost', float('nan')):.3f}, "
+                  f"fidelity score {progress.get('score', 0.0):.6f}",
+                  flush=True)
+            last_published = published
+        state = record.get("state")
+        if state in ("done", "failed", "cancelled"):
+            break
+        _time.sleep(0.2)
+    if state != "done":
+        error = (record.get("error") or "")[-2000:]
+        print(f"refine job ended {state}: {error}", file=sys.stderr)
+        return 1
+    result = client.artifact(record["artifact"])["result"]
+    costs = result.get("published_costs", [])
+    print(f"done: {result.get('rounds_completed', 0)} round(s), "
+          f"final cost {costs[-1]:.3f}, score {result.get('score', 0.0):.6f}"
+          if costs else "done (no rounds completed before the deadline)")
+    print(f"artifact: {record['artifact']}")
     return 0
 
 
@@ -702,8 +775,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default ./repro-service-data)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
+    p.add_argument("--shutdown-token", default=None,
+                   help="bearer token required by POST /shutdown "
+                        "(default $REPRO_SHUTDOWN_TOKEN; unset leaves "
+                        "the route open)")
+    p.add_argument("--store-max-bytes", type=_positive_int, default=None,
+                   metavar="BYTES",
+                   help="artifact-store size cap with oldest-first "
+                        "eviction on write (default unbounded)")
     _add_runner_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("refine",
+                       help="anytime SA refinement of a stored placement "
+                            "artifact through a running service")
+    p.add_argument("source_digest",
+                   help="64-hex digest of a place artifact (with "
+                        "layouts) to refine")
+    p.add_argument("--url", default="http://127.0.0.1:8754",
+                   help="service base URL (default "
+                        "http://127.0.0.1:8754)")
+    p.add_argument("--strategy", default="qplacer",
+                   choices=("qplacer", "classic", "human"),
+                   help="which stored layout to refine (default qplacer)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="refinement wall-clock budget in seconds "
+                        "(default 30)")
+    p.add_argument("--rounds", type=_positive_int, default=8,
+                   help="maximum SA rounds; each round republishes the "
+                        "best layout so far (default 8)")
+    p.add_argument("--moves", type=_positive_int, default=200,
+                   help="SA proposals per round (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="annealing seed (default 0)")
+    p.set_defaults(func=cmd_refine)
     return parser
 
 

@@ -1,0 +1,33 @@
+"""Placement-algorithm portfolio (PR 8).
+
+A family of placers behind one protocol (:class:`Placer`): the paper's
+force-directed flow, a simulated-annealing placer over the
+transactional legalizer, two constructive seed placers, and a racing
+portfolio that keeps the best-fidelity member result.  Select with
+``PlacerConfig.placer`` and instantiate via :func:`make_placer`.
+"""
+
+from .annealing import Annealer, AnnealStats, SimulatedAnnealingPlacer
+from .base import ForceDirectedPlacer, Placer, make_placer, package_result
+from .cost import REFERENCE_DURATION_NS, CostModel, score_layout
+from .portfolio import PortfolioPlacer
+from .seeds import (SubgraphPlacer, TrivialPlacer, band_round_robin_order,
+                    seed_grid_positions)
+
+__all__ = [
+    "Annealer",
+    "AnnealStats",
+    "CostModel",
+    "ForceDirectedPlacer",
+    "Placer",
+    "PortfolioPlacer",
+    "REFERENCE_DURATION_NS",
+    "SimulatedAnnealingPlacer",
+    "SubgraphPlacer",
+    "TrivialPlacer",
+    "band_round_robin_order",
+    "make_placer",
+    "package_result",
+    "score_layout",
+    "seed_grid_positions",
+]

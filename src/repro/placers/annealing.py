@@ -1,0 +1,257 @@
+"""Simulated-annealing placement over the transactional legalizer.
+
+The annealer never produces an illegal intermediate state: every
+proposed move batch goes through the legalizer's atomic
+``try_moves``/``commit`` API (spacing rules + resonator contiguity),
+so the *current* layout — and therefore the tracked best — is legal at
+all times.  That is what makes the same engine safe to drive the
+anytime ``refine`` service, which re-publishes the best layout after
+every round.
+
+Schedule (Enola-style adaptive temperature):
+
+* initial temperature from the mean *uphill* cost delta over a batch of
+  random probe moves, scaled so a mean-uphill move is accepted with
+  ``sa_uphill_probability``;
+* exponential cooling by ``sa_cooling`` per round;
+* acceptance-rate-driven reheating: a round whose acceptance rate drops
+  below ``sa_reheat_threshold`` multiplies the temperature by
+  ``sa_reheat_factor`` instead of freezing in place.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, List, Optional, Tuple
+
+import numpy as np
+
+from .. import profiling
+from ..core.config import PlacerConfig
+from ..core.legalizer import Legalizer
+from ..core.placer import PlacementResult
+from ..core.preprocess import PlacementProblem, build_problem
+from ..devices.netlist import QuantumNetlist
+from .base import Placer, package_result
+from .cost import CostModel, Move
+from .seeds import band_round_robin_order, seed_grid_positions
+
+
+@dataclass
+class AnnealStats:
+    """Telemetry of one annealing run."""
+
+    rounds: int = 0
+    attempted: int = 0
+    accepted: int = 0
+    legal_rejections: int = 0
+    reheats: int = 0
+    initial_temperature: float = 0.0
+    final_temperature: float = 0.0
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+    best_cost: float = 0.0
+    #: Best cost after each completed round (monotone non-increasing).
+    round_costs: List[float] = field(default_factory=list)
+
+
+#: How often (in moves) the deadline is polled inside a round.
+_DEADLINE_STRIDE = 32
+
+
+class Annealer:
+    """Metropolis annealing engine over a loaded legalizer + cost model.
+
+    The legalizer must already hold a fully placed legal layout (via
+    :meth:`Legalizer.run` or :meth:`Legalizer.load`) matching the cost
+    model's loaded positions.
+    """
+
+    def __init__(self, problem: PlacementProblem, config: PlacerConfig,
+                 legalizer: Legalizer, cost_model: CostModel,
+                 rng: np.random.Generator) -> None:
+        self.problem = problem
+        self.config = config
+        self.legalizer = legalizer
+        self.cost = cost_model
+        self.rng = rng
+        sizes = problem.sizes
+        qubit_w = (float(sizes[problem.is_qubit].max())
+                   if problem.is_qubit.any() else 0.0)
+        self._qubit_pitch = config.qubit_site_pitch_mm(qubit_w)
+        self._segment_pitch = config.segment_site_pitch_mm()
+        self._half_extent = 0.5 * sizes.max(axis=1)
+        # Same-resonator segment groups for the swap move.
+        self._siblings = {
+            r: np.flatnonzero(problem.resonator_index == r)
+            for r in np.unique(problem.resonator_index) if r >= 0
+        }
+        self._qubits = np.flatnonzero(problem.is_qubit)
+
+    # -- move proposal -------------------------------------------------------------------
+
+    def _clip(self, i: int, x: float, y: float) -> Tuple[float, float]:
+        region = self.problem.region
+        h = float(self._half_extent[i])
+        return (float(np.clip(x, region.x + h, region.x2 - h)),
+                float(np.clip(y, region.y + h, region.y2 - h)))
+
+    def _propose(self) -> List[Move]:
+        n = self.problem.num_instances
+        i = int(self.rng.integers(n))
+        pos = self.cost.positions
+        if self.rng.random() < self.config.sa_swap_probability:
+            swap = self._swap_partner(i)
+            if swap is not None:
+                j = swap
+                return [(i, (float(pos[j, 0]), float(pos[j, 1]))),
+                        (j, (float(pos[i, 0]), float(pos[i, 1])))]
+        r = self.config.sa_move_radius_sites
+        dx = dy = 0
+        while dx == 0 and dy == 0:
+            dx = int(self.rng.integers(-r, r + 1))
+            dy = int(self.rng.integers(-r, r + 1))
+        pitch = (self._qubit_pitch if self.problem.is_qubit[i]
+                 else self._segment_pitch)
+        x, y = self._clip(i, float(pos[i, 0]) + dx * pitch,
+                          float(pos[i, 1]) + dy * pitch)
+        return [(i, (x, y))]
+
+    def _swap_partner(self, i: int) -> Optional[int]:
+        """A same-kind swap mate: qubit<->qubit, or sibling segments."""
+        if self.problem.is_qubit[i]:
+            pool = self._qubits
+        else:
+            pool = self._siblings.get(
+                int(self.problem.resonator_index[i]),
+                np.zeros(0, dtype=np.int64))
+        if pool.shape[0] < 2:
+            return None
+        j = int(pool[int(self.rng.integers(pool.shape[0]))])
+        return None if j == i else j
+
+    # -- schedule ------------------------------------------------------------------------
+
+    def probe_temperature(self) -> float:
+        """Initial T from mean uphill deltas over random probe moves."""
+        deltas = [self.cost.delta(self._propose())
+                  for _ in range(self.config.sa_probe_moves)]
+        uphill = [d for d in deltas if d > 0]
+        scale = -math.log(self.config.sa_uphill_probability)
+        if uphill:
+            return float(np.mean(uphill)) / scale
+        # All probes downhill (rare, fresh seed): fall back to the mean
+        # magnitude so early acceptance still behaves sensibly.
+        magnitude = float(np.mean(np.abs(deltas))) if deltas else 0.0
+        return max(magnitude, 1e-3) / scale
+
+    def run(self, rounds: int, moves_per_round: int,
+            deadline: Optional[float] = None,
+            on_round: Optional[Callable[[int, float, np.ndarray], None]]
+            = None,
+            temperature: Optional[float] = None
+            ) -> Tuple[np.ndarray, AnnealStats]:
+        """Anneal; returns the best (legal) positions seen and stats.
+
+        Args:
+            rounds: Maximum cooling rounds.
+            moves_per_round: Metropolis proposals per round.
+            deadline: Optional ``time.monotonic()`` timestamp; the run
+                stops cleanly once it passes (polled every few moves).
+            on_round: Callback ``(round_idx, best_cost, best_positions)``
+                fired after every completed round — the anytime hook.
+            temperature: Initial temperature override; ``None`` probes.
+                The refine service passes a cold start so a good layout
+                is polished, not re-melted.
+        """
+        stats = AnnealStats()
+        if temperature is None:
+            temperature = self.probe_temperature()
+        stats.initial_temperature = temperature
+        stats.initial_cost = self.cost.cost
+        best = self.cost.positions.copy()
+        best_cost = self.cost.cost
+        out_of_time = False
+        for round_idx in range(rounds):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            attempted_this = accepted_this = 0
+            for move_idx in range(moves_per_round):
+                if (deadline is not None
+                        and move_idx % _DEADLINE_STRIDE == 0
+                        and time.monotonic() >= deadline):
+                    out_of_time = True
+                    break
+                moves = self._propose()
+                delta = self.cost.delta(moves)
+                attempted_this += 1
+                if delta > 0 and self.rng.random() >= math.exp(
+                        -delta / max(temperature, 1e-12)):
+                    continue
+                if not self.legalizer.try_moves(moves):
+                    stats.legal_rejections += 1
+                    continue
+                self.legalizer.commit()
+                self.cost.apply(moves, delta)
+                accepted_this += 1
+                if self.cost.cost < best_cost:
+                    best_cost = self.cost.cost
+                    best = self.cost.positions.copy()
+            stats.rounds += 1
+            stats.attempted += attempted_this
+            stats.accepted += accepted_this
+            stats.round_costs.append(best_cost)
+            if on_round is not None:
+                on_round(round_idx, best_cost, best)
+            if out_of_time:
+                break
+            rate = accepted_this / max(attempted_this, 1)
+            if rate < self.config.sa_reheat_threshold:
+                temperature *= self.config.sa_reheat_factor
+                stats.reheats += 1
+            else:
+                temperature *= self.config.sa_cooling
+        stats.final_temperature = temperature
+        stats.final_cost = self.cost.cost
+        stats.best_cost = best_cost
+        return best, stats
+
+
+class SimulatedAnnealingPlacer(Placer):
+    """Seed -> legalize -> anneal, all through the batch-move API."""
+
+    name: ClassVar[str] = "sa"
+
+    def place(self, netlist: QuantumNetlist,
+              initial_positions: Optional[np.ndarray] = None
+              ) -> PlacementResult:
+        start = time.perf_counter()
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("preprocess"):
+                problem = build_problem(netlist, self.config)
+            with profiling.phase("seed"):
+                if initial_positions is not None:
+                    seed = np.asarray(initial_positions, dtype=float)
+                elif self.config.sa_seed_placer == "subgraph":
+                    seed = seed_grid_positions(
+                        problem, band_round_robin_order(problem))
+                else:
+                    seed = seed_grid_positions(problem)
+            legalizer = Legalizer(problem, self.config)
+            legal, legalize_stats = legalizer.run(seed)
+            with profiling.phase("anneal"):
+                cost = CostModel(problem)
+                cost.load(legal)
+                annealer = Annealer(
+                    problem, self.config, legalizer, cost,
+                    np.random.default_rng(self.config.seed))
+                best, anneal_stats = annealer.run(
+                    self.config.sa_rounds,
+                    self.config.sa_moves_per_round)
+        runtime = time.perf_counter() - start
+        self.last_anneal_stats = anneal_stats
+        return package_result(
+            problem, netlist, best, self.strategy_name, legalize_stats,
+            runtime, prof.flat_seconds(), global_positions=seed)

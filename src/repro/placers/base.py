@@ -1,0 +1,127 @@
+"""The common placer protocol and the force-directed adapter.
+
+Every placement algorithm in :mod:`repro.placers` implements the same
+contract as the original :class:`repro.core.placer.QPlacer`: a netlist
+(plus an optional warm start) in, a :class:`PlacementResult` with a
+phase profile out.  :func:`make_placer` dispatches on
+``PlacerConfig.placer`` so callers — the CLI, the experiment suite
+builder, the service executors — never hard-code an algorithm.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Dict, Optional
+
+import numpy as np
+
+from ..core.config import PLACER_CHOICES, PlacerConfig
+from ..core.engine import GlobalPlaceResult
+from ..core.legalizer import LegalizeStats
+from ..core.placer import PlacementResult, QPlacer
+from ..core.preprocess import PlacementProblem
+from ..devices.layout import Layout
+from ..devices.netlist import QuantumNetlist
+
+
+class Placer(abc.ABC):
+    """Abstract placement algorithm: topology + config in, result out.
+
+    Attributes:
+        name: The ``PlacerConfig.placer`` switch value selecting this
+            algorithm (one of :data:`repro.core.config.PLACER_CHOICES`).
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, config: Optional[PlacerConfig] = None) -> None:
+        self.config = config if config is not None else PlacerConfig()
+
+    @property
+    def strategy_name(self) -> str:
+        """Layout tag, mirroring :class:`QPlacer`'s convention."""
+        return "qplacer" if self.config.frequency_aware else "classic"
+
+    @abc.abstractmethod
+    def place(self, netlist: QuantumNetlist,
+              initial_positions: Optional[np.ndarray] = None
+              ) -> PlacementResult:
+        """Place ``netlist``; warm-start from ``initial_positions``."""
+
+
+class ForceDirectedPlacer(Placer):
+    """The paper's electrostatic flow behind the portfolio protocol."""
+
+    name: ClassVar[str] = "force"
+
+    def place(self, netlist: QuantumNetlist,
+              initial_positions: Optional[np.ndarray] = None
+              ) -> PlacementResult:
+        return QPlacer(self.config).place(
+            netlist, initial_positions=initial_positions)
+
+
+def package_result(problem: PlacementProblem, netlist: QuantumNetlist,
+                   positions: np.ndarray, strategy: str,
+                   legalize_stats: LegalizeStats, runtime_s: float,
+                   phase_profile: Dict[str, float],
+                   global_positions: Optional[np.ndarray] = None
+                   ) -> PlacementResult:
+    """Assemble a :class:`PlacementResult` for a non-engine placer.
+
+    Seed placers and the annealer skip the electrostatic engine, so the
+    "global" stage is whatever pre-legalization positions they produced
+    (``global_positions``, defaulting to the final ones) and the engine
+    telemetry is an empty, converged :class:`GlobalPlaceResult`.
+    """
+    if global_positions is None:
+        global_positions = positions
+    layout = Layout(
+        instances=problem.instances,
+        positions=positions.copy(),
+        netlist=netlist,
+        strategy=strategy,
+    ).translated_to_origin()
+    global_layout = Layout(
+        instances=problem.instances,
+        positions=global_positions.copy(),
+        netlist=netlist,
+        strategy=f"{strategy}-global",
+    )
+    return PlacementResult(
+        layout=layout,
+        global_layout=global_layout,
+        problem=problem,
+        global_result=GlobalPlaceResult(
+            positions=global_positions.copy(), history=[], converged=True),
+        legalize_stats=legalize_stats,
+        runtime_s=runtime_s,
+        phase_profile=phase_profile,
+    )
+
+
+def make_placer(config: Optional[PlacerConfig] = None) -> Placer:
+    """Instantiate the placer selected by ``config.placer``.
+
+    The registry import is deferred so :mod:`repro.core` never needs
+    the full placer package at import time.
+    """
+    from .annealing import SimulatedAnnealingPlacer
+    from .portfolio import PortfolioPlacer
+    from .seeds import SubgraphPlacer, TrivialPlacer
+
+    config = config if config is not None else PlacerConfig()
+    registry = {
+        ForceDirectedPlacer.name: ForceDirectedPlacer,
+        SimulatedAnnealingPlacer.name: SimulatedAnnealingPlacer,
+        TrivialPlacer.name: TrivialPlacer,
+        SubgraphPlacer.name: SubgraphPlacer,
+        PortfolioPlacer.name: PortfolioPlacer,
+    }
+    try:
+        cls = registry[config.placer]
+    except KeyError:
+        raise ValueError(
+            f"placer must be one of {PLACER_CHOICES}, "
+            f"got {config.placer!r}") from None
+    return cls(config)

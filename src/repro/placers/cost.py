@@ -1,0 +1,198 @@
+"""Annealing cost model and the shared portfolio fidelity scorer.
+
+The simulated-annealing placer needs a cheap, incrementally updatable
+objective.  We reuse the repo's vectorized kernels:
+
+* wirelength — exact Manhattan HPWL (:func:`repro.core.wirelength.hpwl`)
+  over the 2-pin chain nets, updated per move from the movers' incident
+  nets only;
+* frequency pressure — a soft penalty ``max(0, R - d)`` summed over
+  resonant, non-intended pairs within a soft radius ``R``.  Legal
+  layouts have (near) zero *hard* violations, so the soft radius
+  reaches beyond the legal gap: the annealer keeps feeling a gradient
+  that pushes resonant instances apart even when nothing is violated.
+
+Portfolio racing scores finished layouts with the *physical* metric
+instead: the crosstalk-limited fidelity proxy from the vectorized
+violation table (:func:`score_layout`), so the portfolio argmax agrees
+with the analysis pipeline's notion of "better".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.interactions import grid_candidate_pairs
+from ..core.preprocess import PlacementProblem
+from ..core.wirelength import hpwl
+from ..devices.layout import Layout
+
+Move = Tuple[int, Tuple[float, float]]
+
+#: Gate-duration horizon (ns) the fidelity scorer integrates crosstalk
+#: over; long enough that layout differences separate cleanly.
+REFERENCE_DURATION_NS = 1000.0
+
+
+def score_layout(layout: Layout,
+                 duration_ns: float = REFERENCE_DURATION_NS) -> float:
+    """Fidelity proxy in ``(0, 1]``: product of per-violation survivals.
+
+    A layout with no frequency-collision violations scores exactly 1.0;
+    every violating pair multiplies in ``1 - p_swap`` for its residual
+    crosstalk error over ``duration_ns``.  This is the shared scorer
+    the portfolio argmax and the refine service use.
+    """
+    from ..crosstalk.fidelity import ViolationTable
+
+    table = ViolationTable.build(layout)
+    errors = np.asarray(table.crosstalk_errors(duration_ns), dtype=float)
+    if errors.size == 0:
+        return 1.0
+    return float(np.prod(np.clip(1.0 - errors, 0.0, 1.0)))
+
+
+class CostModel:
+    """Incremental ``wirelength + w * pressure`` objective over a layout.
+
+    The model owns a positions array mirroring the legalizer's state:
+    :meth:`load` it once, then for each proposed batch of moves call
+    :meth:`delta` (pure) and, if the move is accepted and legalized,
+    :meth:`apply` to advance the mirror.
+
+    Args:
+        problem: The preprocessed placement problem.
+        pressure_weight: Cost units (mm) per mm of resonant overlap.
+        soft_radius_mm: Pressure reach ``R``; ``None`` derives it from
+            the largest inflated instance extent (~3 sites).
+    """
+
+    def __init__(self, problem: PlacementProblem,
+                 pressure_weight: float = 4.0,
+                 soft_radius_mm: float = None) -> None:
+        self.problem = problem
+        self.pressure_weight = float(pressure_weight)
+        if soft_radius_mm is None:
+            extent = float((problem.sizes.max(axis=1)
+                            + problem.clearances).max())
+            soft_radius_mm = 3.0 * extent
+        self.soft_radius_mm = float(soft_radius_mm)
+        self.positions: np.ndarray = problem.initial_positions.copy()
+
+        n = problem.num_instances
+        # Pairs that exert pressure: resonant (within the detuning
+        # threshold) and not allowed to touch.  Materialised as a dense
+        # boolean mask — n is the *instance* count (hundreds to a few
+        # thousand), so n^2 booleans stay cheap and make per-move row
+        # lookups O(n) with no Python-level pair loops.
+        freqs = problem.frequencies.astype(float)
+        resonant = (np.abs(freqs[:, None] - freqs[None, :])
+                    <= problem.config.detuning_threshold_ghz)
+        ri = problem.resonator_index
+        intended = (ri[:, None] >= 0) & (ri[:, None] == ri[None, :])
+        for q, res_ids in problem.attached_resonators.items():
+            if not res_ids:
+                continue
+            touchable = np.isin(ri, np.fromiter(res_ids, dtype=np.int64))
+            intended[q, :] |= touchable
+            intended[:, q] |= touchable
+        self._pmask = resonant & ~intended
+        np.fill_diagonal(self._pmask, False)
+
+        # Per-instance incident net ids for the wirelength delta.
+        nets = problem.nets
+        self._nets = nets
+        self._incident: List[np.ndarray] = [
+            np.flatnonzero((nets[:, 0] == i) | (nets[:, 1] == i))
+            if nets.size else np.zeros(0, dtype=np.int64)
+            for i in range(n)
+        ]
+        self._cost = 0.0
+
+    # -- full evaluation -----------------------------------------------------------------
+
+    def load(self, positions: np.ndarray) -> float:
+        """Adopt a layout and return its full cost."""
+        if positions.shape != self.positions.shape:
+            raise ValueError("position array shape mismatch")
+        self.positions = np.asarray(positions, dtype=float).copy()
+        self._cost = self.full_cost(self.positions)
+        return self._cost
+
+    @property
+    def cost(self) -> float:
+        """Cost of the currently loaded layout."""
+        return self._cost
+
+    def full_cost(self, positions: np.ndarray) -> float:
+        """Evaluate ``wirelength + w * pressure`` from scratch."""
+        return (hpwl(positions, self._nets)
+                + self.pressure_weight * self._total_pressure(positions))
+
+    def _total_pressure(self, positions: np.ndarray) -> float:
+        i_arr, j_arr = grid_candidate_pairs(
+            positions, self.soft_radius_mm, sort=False)
+        if i_arr.size == 0:
+            return 0.0
+        keep = self._pmask[i_arr, j_arr]
+        if not keep.any():
+            return 0.0
+        delta = positions[i_arr[keep]] - positions[j_arr[keep]]
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        return float(np.maximum(0.0, self.soft_radius_mm - dist).sum())
+
+    # -- incremental evaluation ----------------------------------------------------------
+
+    def _local_wirelength(self, positions: np.ndarray,
+                          net_ids: np.ndarray) -> float:
+        if net_ids.size == 0:
+            return 0.0
+        sub = self._nets[net_ids]
+        delta = positions[sub[:, 0]] - positions[sub[:, 1]]
+        return float(np.abs(delta).sum())
+
+    def _local_pressure(self, positions: np.ndarray,
+                        movers: Sequence[int]) -> float:
+        """Pressure of all pairs touching ``movers`` (each pair once)."""
+        total = 0.0
+        seen: List[int] = []
+        for i in movers:
+            delta = positions - positions[i]
+            dist = np.hypot(delta[:, 0], delta[:, 1])
+            gain = np.maximum(0.0, self.soft_radius_mm - dist)
+            mask = self._pmask[i].copy()
+            mask[seen] = False  # mover-mover pairs count once
+            total += float(gain[mask].sum())
+            seen.append(i)
+        return total
+
+    def delta(self, moves: Sequence[Move]) -> float:
+        """Cost change if ``moves`` were applied; does not mutate."""
+        movers = [int(i) for i, _ in moves]
+        net_ids = (np.unique(np.concatenate(
+            [self._incident[i] for i in movers]))
+            if self._nets.size else np.zeros(0, dtype=np.int64))
+        pos = self.positions
+        old = (self._local_wirelength(pos, net_ids)
+               + self.pressure_weight * self._local_pressure(pos, movers))
+        saved = [pos[i].copy() for i in movers]
+        try:
+            for (i, (x, y)) in moves:
+                pos[int(i)] = (x, y)
+            new = (self._local_wirelength(pos, net_ids)
+                   + self.pressure_weight
+                   * self._local_pressure(pos, movers))
+        finally:
+            for i, p in zip(movers, saved):
+                pos[i] = p
+        return new - old
+
+    def apply(self, moves: Sequence[Move], delta: float = None) -> None:
+        """Advance the mirror after the legalizer committed ``moves``."""
+        if delta is None:
+            delta = self.delta(moves)
+        for (i, (x, y)) in moves:
+            self.positions[int(i)] = (x, y)
+        self._cost += delta

@@ -1,0 +1,124 @@
+"""Racing portfolio: run member placers, keep the best-fidelity layout.
+
+The portfolio fans its members (``PlacerConfig.portfolio_members``,
+any non-portfolio placer) out as independent jobs, scores every
+finished layout with the shared fidelity proxy
+(:func:`repro.placers.cost.score_layout`), and returns the argmax
+result with per-member telemetry folded into ``phase_profile`` and the
+score table attached as ``PlacementResult.portfolio_scores``.
+
+When the netlist is a *stock* topology build (registered name, default
+frequency plan), members run through the :class:`ParallelRunner` as
+process-pool jobs — so they race concurrently and their results land
+in the on-disk cache keyed like every other analysis job.  Custom
+netlists (mutated plans, warm starts) fall back to a sequential
+in-process race, which is always correct.
+
+Ties go to the *earlier* member: with every member at the score
+ceiling of 1.0 the portfolio returns its first member's result
+verbatim, so ``portfolio`` can never do worse than ``force`` when
+``force`` leads the member list.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, ClassVar, Dict, List, Optional
+
+import numpy as np
+
+from ..core.placer import PlacementResult
+from ..devices.layout import Layout
+from ..devices.netlist import QuantumNetlist
+from .base import Placer, make_placer
+from .cost import score_layout
+
+
+class PortfolioPlacer(Placer):
+    """Race member placers; return the best-scoring result."""
+
+    name: ClassVar[str] = "portfolio"
+
+    def __init__(self, config=None,
+                 scorer: Optional[Callable[[Layout], float]] = None,
+                 runner=None) -> None:
+        super().__init__(config)
+        self.scorer = scorer if scorer is not None else score_layout
+        self.runner = runner
+
+    # -- member execution ----------------------------------------------------------------
+
+    def _is_stock_netlist(self, netlist: QuantumNetlist) -> bool:
+        """True when workers can rebuild this exact netlist by name."""
+        from ..devices.netlist import build_netlist
+        from ..devices.topology import TOPOLOGY_FACTORIES, get_topology
+        from ..io.serialization import plan_to_dict
+
+        name = netlist.topology.name
+        if name not in TOPOLOGY_FACTORIES:
+            return False
+        stock = build_netlist(get_topology(name))
+        return plan_to_dict(stock.plan) == plan_to_dict(netlist.plan)
+
+    def _race_pooled(self, netlist: QuantumNetlist
+                     ) -> List[Optional[PlacementResult]]:
+        from ..analysis.runner import (ParallelRunner, PortfolioMemberJob,
+                                       run_portfolio_member)
+
+        runner = self.runner
+        if runner is None:
+            runner = ParallelRunner(
+                max_workers=min(len(self.config.portfolio_members), 4))
+        jobs = [PortfolioMemberJob(
+                    topology=netlist.topology.name,
+                    member=member,
+                    segment_size_mm=self.config.segment_size_mm,
+                    config=self.config)
+                for member in self.config.portfolio_members]
+        return runner.map(run_portfolio_member, jobs,
+                          namespace="portfolio")
+
+    def _race_inline(self, netlist: QuantumNetlist,
+                     initial_positions: Optional[np.ndarray]
+                     ) -> List[Optional[PlacementResult]]:
+        results: List[Optional[PlacementResult]] = []
+        for member in self.config.portfolio_members:
+            placer = make_placer(replace(self.config, placer=member))
+            results.append(placer.place(
+                netlist, initial_positions=initial_positions))
+        return results
+
+    # -- protocol ------------------------------------------------------------------------
+
+    def place(self, netlist: QuantumNetlist,
+              initial_positions: Optional[np.ndarray] = None
+              ) -> PlacementResult:
+        start = time.perf_counter()
+        members = self.config.portfolio_members
+        if initial_positions is None and self._is_stock_netlist(netlist):
+            results = self._race_pooled(netlist)
+        else:
+            results = self._race_inline(netlist, initial_positions)
+
+        scores: Dict[str, float] = {}
+        winner: Optional[PlacementResult] = None
+        winner_score = -np.inf
+        profile: Dict[str, float] = {}
+        for member, result in zip(members, results):
+            if result is None:
+                continue
+            score = float(self.scorer(result.layout))
+            scores[member] = score
+            profile[f"portfolio/{member}"] = result.runtime_s
+            if score > winner_score:  # strict: ties keep earlier member
+                winner, winner_score = result, score
+        if winner is None:
+            raise RuntimeError(
+                "portfolio race produced no result (members: "
+                f"{members})")
+        winner.phase_profile = dict(winner.phase_profile)
+        winner.phase_profile.update(profile)
+        winner.portfolio_scores = scores
+        winner.runtime_s = time.perf_counter() - start
+        return winner

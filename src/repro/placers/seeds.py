@@ -1,0 +1,138 @@
+"""Cheap constructive seed placers: grid snap and frequency-band tiling.
+
+Both placers drop instances onto a near-square lattice centred in the
+placement region and hand the result straight to the integration-aware
+legalizer — no iterative optimisation at all.  They exist for two jobs:
+
+* as *standalone baselines* the portfolio races against the heavy
+  placers (a finished layout in milliseconds);
+* as *warm starts* for the simulated-annealing placer, which only needs
+  a legal layout to start mutating.
+
+:class:`TrivialPlacer` fills the lattice in instance order (all qubits
+first, then resonator segments — the preprocessing order).
+:class:`SubgraphPlacer` interleaves frequency bands round-robin so
+lattice neighbours cycle through bands: resonant pairs (band distance
+<= 1) rarely end up adjacent, which is the whole frequency-awareness
+story condensed into a sort key.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import ClassVar, Optional
+
+import numpy as np
+
+from .. import profiling
+from ..core.interactions import frequency_bands
+from ..core.legalizer import legalize
+from ..core.placer import PlacementResult
+from ..core.preprocess import PlacementProblem, build_problem
+from ..devices.netlist import QuantumNetlist
+from .base import Placer, package_result
+
+
+def seed_grid_positions(problem: PlacementProblem,
+                        order: Optional[np.ndarray] = None) -> np.ndarray:
+    """Raw (pre-legalization) lattice centres for every instance.
+
+    The lattice pitch is the largest inflated instance extent, so the
+    seed is already near-legal for ordinary spacing; the legalizer only
+    has to fix resonant gaps and resonator contiguity.  ``order[k]`` is
+    the instance placed in the ``k``-th lattice slot (row-major);
+    ``None`` means instance order.
+    """
+    n = problem.num_instances
+    positions = np.zeros((n, 2), dtype=float)
+    if n == 0:
+        return positions
+    if order is None:
+        order = np.arange(n)
+    pitch = float((problem.sizes.max(axis=1) + problem.clearances).max())
+    pitch = max(pitch, 1e-6)
+    cols = int(np.ceil(np.sqrt(n)))
+    rows = int(np.ceil(n / cols))
+    region = problem.region
+    x0 = region.cx - 0.5 * (cols - 1) * pitch
+    y0 = region.cy - 0.5 * (rows - 1) * pitch
+    slots = np.arange(n)
+    positions[order] = np.column_stack([
+        x0 + (slots % cols) * pitch,
+        y0 + (slots // cols) * pitch,
+    ])
+    return positions
+
+
+def band_round_robin_order(problem: PlacementProblem) -> np.ndarray:
+    """Slot order dealing frequency bands round-robin onto the lattice.
+
+    Instances are grouped into detuning bands (resonant pairs differ by
+    at most one band) and ranked within their band; sorting by
+    ``(rank, band)`` means slot ``k`` holds the ``k // #bands``-th
+    member of band ``k % #bands`` — consecutive lattice slots cycle
+    through the whole band spectrum.
+    """
+    bands = frequency_bands(
+        problem.frequencies, problem.config.detuning_threshold_ghz)
+    n = bands.shape[0]
+    by_band = np.lexsort((np.arange(n), bands))
+    rank = np.empty(n, dtype=np.int64)
+    position_in_run = np.arange(n)
+    run_starts = np.flatnonzero(
+        np.diff(bands[by_band], prepend=bands[by_band[0]] - 1))
+    rank[by_band] = position_in_run - np.repeat(
+        run_starts, np.diff(np.append(run_starts, n)))
+    return np.lexsort((bands, rank))
+
+
+class _GridSeedPlacer(Placer):
+    """Shared flow: build problem -> lattice -> legalize -> package."""
+
+    def _slot_order(self, problem: PlacementProblem
+                    ) -> Optional[np.ndarray]:
+        raise NotImplementedError
+
+    def place(self, netlist: QuantumNetlist,
+              initial_positions: Optional[np.ndarray] = None
+              ) -> PlacementResult:
+        # Constructive placers ignore warm starts by design: the seed
+        # *is* the construction.
+        start = time.perf_counter()
+        with profiling.PhaseProfiler() as prof:
+            with profiling.phase("preprocess"):
+                problem = build_problem(netlist, self.config)
+            with profiling.phase("seed"):
+                grid = seed_grid_positions(
+                    problem, self._slot_order(problem))
+            legal, stats = legalize(problem, grid, self.config)
+        runtime = time.perf_counter() - start
+        return package_result(
+            problem, netlist, legal, self.strategy_name, stats, runtime,
+            prof.flat_seconds(), global_positions=grid)
+
+
+class TrivialPlacer(_GridSeedPlacer):
+    """Lattice fill in preprocessing instance order."""
+
+    name: ClassVar[str] = "trivial"
+
+    def _slot_order(self, problem: PlacementProblem
+                    ) -> Optional[np.ndarray]:
+        return None
+
+
+class SubgraphPlacer(_GridSeedPlacer):
+    """Frequency-band round-robin lattice fill.
+
+    Instances are grouped into detuning bands (resonant pairs differ by
+    at most one band) and dealt onto the lattice round-robin across
+    bands, so consecutive lattice slots cycle through the whole band
+    spectrum — the frequency-partitioned-subgraph idea as a seed.
+    """
+
+    name: ClassVar[str] = "subgraph"
+
+    def _slot_order(self, problem: PlacementProblem
+                    ) -> Optional[np.ndarray]:
+        return band_round_robin_order(problem)

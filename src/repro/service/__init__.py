@@ -41,6 +41,7 @@ from .requests import (
     FidelityRequest,
     MapRequest,
     PlaceRequest,
+    RefineRequest,
     RequestError,
     check_options,
     parse_request,
@@ -68,6 +69,7 @@ __all__ = [
     "QUEUED",
     "REQUEST_TYPES",
     "RUNNING",
+    "RefineRequest",
     "RequestError",
     "Scheduler",
     "ServiceClient",

@@ -196,6 +196,13 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/shutdown":
             self._discard_body()
+            token = service.shutdown_token
+            if token is not None:
+                supplied = self.headers.get("Authorization") or ""
+                if supplied != f"Bearer {token}":
+                    self._error(403, "shutdown requires a valid bearer "
+                                     "token (Authorization: Bearer <token>)")
+                    return
             self._send(200, {"status": "stopping"})
             threading.Thread(target=service.stop, daemon=True).start()
             return
@@ -229,6 +236,10 @@ class PlacementService:
             the box; pass ``None`` explicitly via a prebuilt runner to
             disable).
         verbose: Log HTTP requests to stderr.
+        shutdown_token: Bearer token required by ``POST /shutdown``;
+            ``None`` leaves the route open (local/dev default).
+        store_max_bytes: Artifact-store size cap (oldest-mtime eviction
+            on write); ``None`` means unbounded.
     """
 
     def __init__(self, store_dir: PathLike, host: str = "127.0.0.1",
@@ -236,8 +247,11 @@ class PlacementService:
                  runner: Optional[ParallelRunner] = None,
                  runner_workers: Optional[int] = None,
                  cache_dir: Optional[PathLike] = None,
-                 verbose: bool = False) -> None:
-        self.store = ArtifactStore(store_dir)
+                 verbose: bool = False,
+                 shutdown_token: Optional[str] = None,
+                 store_max_bytes: Optional[int] = None) -> None:
+        self.shutdown_token = shutdown_token
+        self.store = ArtifactStore(store_dir, max_bytes=store_max_bytes)
         self.queue = JobQueue(self.store)
         if runner is None:
             if cache_dir is None:

@@ -43,21 +43,28 @@ class ServiceClient:
     Args:
         base_url: e.g. ``"http://127.0.0.1:8754"`` (trailing slash ok).
         timeout: Socket timeout per HTTP call.
+        token: Bearer token sent on ``POST /shutdown`` (the only
+            authenticated route); ``None`` sends no Authorization.
     """
 
     def __init__(self, base_url: str,
-                 timeout: float = DEFAULT_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_TIMEOUT,
+                 token: Optional[str] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
 
     # -- transport ---------------------------------------------------------
 
     def _call(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+              body: Optional[Dict[str, Any]] = None,
+              headers: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
         data = None if body is None else json.dumps(body).encode()
+        merged = {"Content-Type": "application/json"}
+        merged.update(headers or {})
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"})
+            headers=merged)
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
@@ -111,8 +118,21 @@ class ServiceClient:
         return self._call("GET", "/metrics")
 
     def shutdown(self) -> Dict[str, Any]:
-        """POST /shutdown (clean stop)."""
-        return self._call("POST", "/shutdown", {})
+        """POST /shutdown (clean stop; bearer-authenticated if set)."""
+        headers = ({"Authorization": f"Bearer {self.token}"}
+                   if self.token is not None else None)
+        return self._call("POST", "/shutdown", {}, headers=headers)
+
+    def refine(self, source_digest: str, strategy: str = "qplacer",
+               deadline_s: float = 30.0, rounds: int = 8,
+               moves_per_round: int = 200, seed: int = 0,
+               timeout: float = 600.0) -> Any:
+        """Submit an anytime refine job and return its final payload."""
+        return self.run("refine", {
+            "source_digest": source_digest, "strategy": strategy,
+            "deadline_s": deadline_s, "rounds": rounds,
+            "moves_per_round": moves_per_round, "seed": seed,
+        }, timeout=timeout)
 
     # -- conveniences ------------------------------------------------------
 

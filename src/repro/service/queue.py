@@ -85,6 +85,9 @@ class JobRecord:
     finished_at: Optional[float] = None
     error: Optional[str] = None
     cancel_requested: bool = False
+    #: Live executor-reported progress (anytime jobs publish their
+    #: current best artifact here round by round); empty otherwise.
+    progress: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able view served by ``GET /jobs/<id>``."""
@@ -104,7 +107,13 @@ class JobRecord:
             "finished_at": self.finished_at,
             "error": self.error,
             "cancel_requested": self.cancel_requested,
-            "artifact": self.digest if self.state == DONE else None,
+            "progress": dict(self.progress),
+            # Anytime jobs expose the artifact as soon as the first
+            # intermediate result is published, not only at DONE.
+            "artifact": (self.digest
+                         if self.state == DONE
+                         or self.progress.get("published", 0)
+                         else None),
         }
 
 
@@ -317,6 +326,21 @@ class JobQueue:
             job.finished_at = time.time()
             self._release_locked(job)
             self.cancelled += 1
+
+    def update_progress(self, job_id: str,
+                        progress: Dict[str, Any]) -> None:
+        """Merge executor-reported progress into a running job's record.
+
+        The anytime executors call this after republishing their
+        current best artifact, so ``GET /jobs/<id>`` polls observe the
+        stream without waiting for DONE.  A no-op for settled jobs
+        (a racing cancel/fail must not resurrect progress).
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != RUNNING:
+                return
+            job.progress.update(progress)
 
     def cancel(self, job_id: str) -> bool:
         """Withdraw one submission; True when the job will never run.

@@ -79,10 +79,19 @@ class ArtifactStore:
 
     Args:
         root: Store directory (created on first write).
+        max_bytes: Optional size cap over all stored artifacts.  Every
+            :meth:`put` that pushes the total above the cap evicts the
+            oldest-mtime artifacts (never the one just written) until
+            the store fits; evictions are counted for ``/metrics``.
     """
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(self, root: PathLike,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be a positive byte count")
         self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.evictions = 0
         self.hits = 0
         self.misses = 0
         self._stats_lock = threading.Lock()
@@ -172,7 +181,47 @@ class ArtifactStore:
                        separators=(",", ":")).encode())
         with self._stats_lock:
             self._remember_locked(digest)
+        self._evict_over_cap(keep=digest)
         return record
+
+    def _evict_over_cap(self, keep: str) -> None:
+        """Drop oldest-mtime artifacts until the store fits the cap.
+
+        The just-written ``keep`` digest is never evicted, so a single
+        artifact larger than the cap still persists (the cap bounds
+        steady-state growth, not one write).  Unlink races read as
+        already-evicted, never as errors.
+        """
+        if self.max_bytes is None:
+            return
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        entries = []
+        total = 0
+        for path in objects.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        for _, size, path in entries:
+            if path.stem == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            with self._stats_lock:
+                self.evictions += 1
+                self._validated.discard(path.stem)
+            total -= size
+            if total <= self.max_bytes:
+                break
 
     def nearest_placement(self, topology: str,
                           segment_size_mm: Optional[float] = None
@@ -237,4 +286,5 @@ class ArtifactStore:
             "artifact_hits": self.hits,
             "artifact_misses": self.misses,
             "artifact_hit_rate": (self.hits / total) if total else 0.0,
+            "artifact_evictions": self.evictions,
         }

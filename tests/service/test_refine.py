@@ -1,0 +1,135 @@
+"""End-to-end anytime-refinement tests over the real HTTP API.
+
+Unlike ``test_api.py`` (stub executors), these run the *real* place and
+refine executors on a small topology: the acceptance contract is that a
+refine job publishes strictly non-worsening placement artifacts, round
+by round, observable through ``GET /jobs/<id>`` / ``GET
+/artifacts/<digest>`` while the job is still running.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.runner import ParallelRunner
+from repro.service import PlacementService, ServiceClient
+
+#: Reduced engine budget so the source placement is quick.
+FAST_CONFIG = {"max_iterations": 60, "min_iterations": 10, "num_bins": 32}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("refine-service")
+    svc = PlacementService(store_dir=tmp / "store", port=0, workers=1)
+    svc.scheduler.runner = ParallelRunner(max_workers=1,
+                                          cache_dir=tmp / "cache")
+    with svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.base_url, timeout=30.0)
+
+
+@pytest.fixture(scope="module")
+def source_digest(client):
+    job = client.submit("place", {"topology": "grid-25",
+                                  "strategies": ["qplacer"],
+                                  "config": FAST_CONFIG})
+    record = client.wait(job["job_id"], timeout=180.0)
+    return record["artifact"]
+
+
+class TestRefineEndToEnd:
+    def test_publishes_monotone_artifacts(self, client, source_digest):
+        job = client.submit("refine", {"source_digest": source_digest,
+                                       "deadline_s": 60.0,
+                                       "rounds": 4,
+                                       "moves_per_round": 40})
+        job_id = job["job_id"]
+        observed = []
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            record = client.job(job_id)
+            progress = record.get("progress") or {}
+            if progress.get("published"):
+                # The artifact digest is exposed as soon as the first
+                # round publishes, before the job settles.
+                assert record["artifact"] == record["digest"]
+                artifact = client.artifact(record["artifact"])
+                observed.append(artifact["result"]["published_costs"])
+            if record["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.02)
+        assert record["state"] == "done", record.get("error")
+
+        final = client.artifact(record["artifact"])["result"]
+        costs = final["published_costs"]
+        assert len(costs) >= 3
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+        assert final["rounds_completed"] == len(costs)
+        assert final["strategy"] == "qplacer"
+        assert final["source_digest"] == source_digest
+        assert final["layout"]["format"] == "repro.layout.v1"
+        assert 0.0 < final["score"] <= 1.0
+        # Every snapshot observed mid-flight is a prefix-consistent,
+        # monotone cost stream too.
+        for snapshot in observed:
+            assert all(b <= a + 1e-9
+                       for a, b in zip(snapshot, snapshot[1:]))
+
+    def test_refine_of_unknown_digest_fails_cleanly(self, client):
+        job = client.submit("refine", {"source_digest": "0" * 64,
+                                       "deadline_s": 5.0, "rounds": 1,
+                                       "moves_per_round": 10})
+        from repro.service.client import JobFailed
+        with pytest.raises(JobFailed) as err:
+            client.wait(job["job_id"], timeout=60.0)
+        assert "not in the store" in str(err.value)
+
+    def test_refine_request_validation(self, client):
+        from repro.service import ServiceError
+        with pytest.raises(ServiceError) as err:
+            client.submit("refine", {"source_digest": "nope"})
+        assert err.value.status == 400
+        assert "64-character" in str(err.value)
+        with pytest.raises(ServiceError) as err:
+            client.submit("refine", {"source_digest": "0" * 64,
+                                     "deadline_s": -1.0})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.submit("refine", {"source_digest": "0" * 64,
+                                     "strategy": "genetic"})
+        assert err.value.status == 400
+
+
+class TestShutdownAuth:
+    def test_shutdown_requires_token(self, tmp_path):
+        svc = PlacementService(store_dir=tmp_path / "s", port=0,
+                               workers=1, shutdown_token="hunter2")
+        with svc:
+            from repro.service import ServiceError
+            anonymous = ServiceClient(svc.base_url, timeout=10.0)
+            with pytest.raises(ServiceError) as err:
+                anonymous.shutdown()
+            assert err.value.status == 403
+            wrong = ServiceClient(svc.base_url, timeout=10.0,
+                                  token="wrong")
+            with pytest.raises(ServiceError) as err:
+                wrong.shutdown()
+            assert err.value.status == 403
+            # Still alive after both rejections.
+            assert anonymous.healthz()["status"] == "ok"
+            authed = ServiceClient(svc.base_url, timeout=10.0,
+                                   token="hunter2")
+            assert authed.shutdown()["status"] == "stopping"
+
+    def test_shutdown_open_when_no_token(self, tmp_path):
+        svc = PlacementService(store_dir=tmp_path / "s", port=0, workers=1)
+        with svc:
+            client = ServiceClient(svc.base_url, timeout=10.0)
+            assert client.shutdown()["status"] == "stopping"

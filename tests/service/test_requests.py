@@ -183,3 +183,43 @@ class TestParseEvaluate:
         with pytest.raises(RequestError):
             parse_request("evaluate", {"topologies": ["grid-25"],
                                        "benchmarks": ["bv-4", "vibes-3"]})
+
+
+class TestRefineRequest:
+    def test_parses_with_defaults(self):
+        request = parse_request("refine", {"source_digest": "ab" * 32})
+        assert request.kind == "refine"
+        assert request.strategy == "qplacer"
+        assert request.deadline_s == 30.0
+
+    def test_digest_must_be_64_hex(self):
+        for bad in ("", "xyz", "AB" * 32, "ab" * 31):
+            with pytest.raises(RequestError):
+                parse_request("refine", {"source_digest": bad})
+
+    def test_strategy_validated(self):
+        with pytest.raises(RequestError) as err:
+            parse_request("refine", {"source_digest": "ab" * 32,
+                                     "strategy": "genetic"})
+        assert "qplacer" in str(err.value)
+
+    def test_bounds_validated(self):
+        base = {"source_digest": "ab" * 32}
+        for overrides in ({"deadline_s": 0.0}, {"deadline_s": 4000.0},
+                          {"rounds": 0}, {"moves_per_round": 0},
+                          {"rounds": 20_000}):
+            with pytest.raises(RequestError):
+                parse_request("refine", {**base, **overrides})
+
+    def test_deadline_in_digest(self):
+        from repro.service.store import request_digest
+        a = parse_request("refine", {"source_digest": "ab" * 32,
+                                     "deadline_s": 5.0})
+        b = parse_request("refine", {"source_digest": "ab" * 32,
+                                     "deadline_s": 10.0})
+        assert request_digest("refine", a) != request_digest("refine", b)
+
+    def test_refine_accepts_no_options(self):
+        from repro.service.requests import check_options
+        with pytest.raises(RequestError):
+            check_options("refine", {"shard_count": 2})

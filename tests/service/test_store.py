@@ -216,3 +216,59 @@ class TestNearestPlacement:
         hits, misses = store.hits, store.misses
         store.nearest_placement("grid-25")
         assert (store.hits, store.misses) == (hits, misses)
+
+
+class TestSizeCap:
+    """max_bytes eviction: oldest-mtime artifacts go first."""
+
+    def _fill(self, store, digests, payload_bytes=2000):
+        import os
+        for k, digest in enumerate(digests):
+            store.put(digest, {"blob": "x" * payload_bytes, "k": k})
+            # Distinct mtimes even on coarse-resolution filesystems.
+            os.utime(store.path(digest), (1_000_000 + k, 1_000_000 + k))
+
+    def test_unbounded_by_default(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fill(store, [f"{k:02x}" * 32 for k in range(5)])
+        assert store.evictions == 0
+        assert all(store.contains(f"{k:02x}" * 32) for k in range(5))
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        import pytest
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path, max_bytes=0)
+
+    def test_oldest_mtime_evicted_first(self, tmp_path):
+        digests = [f"{k:02x}" * 32 for k in range(4)]
+        store = ArtifactStore(tmp_path)
+        self._fill(store, digests[:3])
+        one_size = store.path(digests[0]).stat().st_size
+        capped = ArtifactStore(tmp_path, max_bytes=2 * one_size + 10)
+        capped.put(digests[3], {"blob": "y" * 2000})
+        # Oldest two evicted; the just-written artifact always survives.
+        assert not capped.contains(digests[0])
+        assert not capped.contains(digests[1])
+        assert capped.contains(digests[3])
+        assert capped.evictions == 2
+
+    def test_just_written_never_evicted_even_if_oversized(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=100)
+        digest = "ab" * 32
+        store.put(digest, {"blob": "z" * 5000})
+        assert store.contains(digest)
+
+    def test_evictions_counter_in_metrics(self, tmp_path):
+        digests = [f"{k:02x}" * 32 for k in range(3)]
+        store = ArtifactStore(tmp_path, max_bytes=1)
+        self._fill(store, digests)
+        metrics = store.metrics()
+        assert metrics["artifact_evictions"] == store.evictions
+        assert store.evictions == 2  # each write evicts the previous
+
+    def test_evicted_artifact_reads_as_miss(self, tmp_path):
+        digests = ["aa" * 32, "bb" * 32]
+        store = ArtifactStore(tmp_path, max_bytes=1)
+        self._fill(store, digests)
+        assert store.get(digests[0]) is None
+        assert not store.remembers(digests[0])
