@@ -147,6 +147,7 @@ def _suite_mappings(suite: PlacementSuite, benchmarks: Sequence[str],
     """
     from .runner import MappingJob, default_runner, run_mapping_job
     from ..devices.topology import TOPOLOGY_FACTORIES
+    from ..io.serialization import circuit_content_digest
 
     wanted = []
     for bench_name in benchmarks:
@@ -161,9 +162,13 @@ def _suite_mappings(suite: PlacementSuite, benchmarks: Sequence[str],
     use_jobs = (runner.cache_dir is not None or runner.max_workers > 1) \
         and suite.topology.name in TOPOLOGY_FACTORIES
     if use_jobs:
+        # The circuit is already in hand, so content-address each job
+        # directly — identically-shaped workloads under different names
+        # share one cache token (see MappingJob.cache_key).
         jobs = [MappingJob(benchmark=name, topology=suite.topology.name,
-                           num_mappings=num_mappings, base_seed=base_seed)
-                for name, _ in wanted]
+                           num_mappings=num_mappings, base_seed=base_seed,
+                           circuit_digest=circuit_content_digest(circuit))
+                for name, circuit in wanted]
         batches = runner.map(run_mapping_job, jobs, namespace="mappings")
         return {name: batch for (name, _), batch in zip(wanted, batches)}
     return {
@@ -685,11 +690,13 @@ def run_map_request(benchmark: str, topology: str, num_mappings: int,
     per-mapping summary — the heavyweight mapped circuits stay in the
     runner's pickle cache for fidelity studies to reuse.
     """
-    from .runner import MappingJob, run_mapping_job, run_mapping_job_sharded
+    from .runner import (MappingJob, run_mapping_job,
+                         run_mapping_job_sharded, with_circuit_digest)
 
-    job = MappingJob(benchmark=benchmark, topology=topology,
-                     num_mappings=num_mappings, base_seed=base_seed,
-                     router=router, optimization_level=optimization_level)
+    job = with_circuit_digest(
+        MappingJob(benchmark=benchmark, topology=topology,
+                   num_mappings=num_mappings, base_seed=base_seed,
+                   router=router, optimization_level=optimization_level))
     if chunk_size is not None:
         mappings = run_mapping_job_sharded(job, runner,
                                            chunk_size=chunk_size)
@@ -710,6 +717,7 @@ def run_map_request(benchmark: str, topology: str, num_mappings: int,
     return {"benchmark": benchmark, "topology": topology,
             "router": router, "optimization_level": optimization_level,
             "num_mappings": num_mappings, "base_seed": base_seed,
+            "circuit_digest": job.circuit_digest,
             "total_swaps": sum(r["swap_count"] for r in rows),
             "mappings": rows}
 

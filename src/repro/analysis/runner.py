@@ -71,7 +71,11 @@ from ..io.serialization import canonical_json
 #:    the SA/portfolio knobs (every config-bearing digest re-keys),
 #:    PlacementResult grew ``portfolio_scores`` (pickled suite shape
 #:    changed), and the service gained the ``refine`` request kind.
-CACHE_SCHEMA_VERSION = 7
+#: 8: columnar circuits — MappedCircuit pickles lazily (arrays only, no
+#:    eager decoded circuit), MappingJob grew content-addressed
+#:    ``circuit_digest`` keying, and suites compile through the
+#:    suite-batched ``map_suite_arrays`` pass.
+CACHE_SCHEMA_VERSION = 8
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -84,10 +88,16 @@ def job_token(job: Any, namespace: str = "") -> str:
     (:func:`repro.io.serialization.canonicalize`) — the same primitive
     the service artifact store digests requests with — plus the cache
     namespace and :data:`CACHE_SCHEMA_VERSION`.
+
+    Jobs that define a ``cache_key()`` method are keyed by its return
+    value instead of their raw fields — how :class:`MappingJob` swaps
+    its benchmark *name* for the benchmark's content digest, so
+    differently-named aliases of one workload share a cache entry.
     """
+    key = job.cache_key() if hasattr(job, "cache_key") else job
     payload = canonical_json(
         {"schema": CACHE_SCHEMA_VERSION, "namespace": namespace,
-         "job": job})
+         "job": key})
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -218,6 +228,11 @@ class MappingJob:
             ``base_seed .. base_seed + num_mappings - 1``.
         router: ``"basic"`` or ``"sabre"``.
         optimization_level: Transpiler effort level.
+        circuit_digest: Optional content digest of the benchmark circuit
+            (:func:`repro.io.serialization.circuit_content_digest`).
+            When set, the cache token keys on the digest *instead of*
+            the benchmark name, so identical circuits submitted under
+            different names compile exactly once fleet-wide.
     """
 
     benchmark: str
@@ -226,6 +241,46 @@ class MappingJob:
     base_seed: int = 0
     router: str = "basic"
     optimization_level: int = 3
+    circuit_digest: Optional[str] = None
+
+    def cache_key(self) -> Any:
+        """Content-addressed cache identity (see :func:`job_token`).
+
+        Without a digest the job keys on its raw fields (the pre-digest
+        token shape).  With one, the benchmark name drops out of the key
+        entirely — content addressing — while every compile-affecting
+        field (topology, seeds, router, effort level) stays.
+        """
+        if self.circuit_digest is None:
+            return self
+        return {"kind": "mapping-suite",
+                "circuit_digest": self.circuit_digest,
+                "topology": self.topology,
+                "num_mappings": self.num_mappings,
+                "base_seed": self.base_seed,
+                "router": self.router,
+                "optimization_level": self.optimization_level}
+
+
+@functools.lru_cache(maxsize=256)
+def benchmark_circuit_digest(benchmark: str) -> str:
+    """Content digest of a registered benchmark, memoized per process.
+
+    Building the circuit just to hash it is cheap next to routing, but
+    hot call sites (the service's per-request digest stamping) repeat
+    the same few names constantly — hence the cache.
+    """
+    from ..circuits.library import get_benchmark
+    from ..io.serialization import circuit_content_digest
+
+    return circuit_content_digest(get_benchmark(benchmark))
+
+
+def with_circuit_digest(job: MappingJob) -> MappingJob:
+    """The same job, content-addressed (digest resolved from the name)."""
+    if job.circuit_digest is not None:
+        return job
+    return replace(job, circuit_digest=benchmark_circuit_digest(job.benchmark))
 
 
 def run_mapping_job(job: MappingJob):
@@ -427,6 +482,29 @@ class ParallelRunner:
     _env_depth = 0
     _env_previous: Optional[str] = None
 
+    #: Process-wide per-namespace hit/miss tallies, aggregated across
+    #: every runner instance.  Experiment pipelines construct fresh
+    #: :func:`default_runner` instances deep inside worker functions, so
+    #: instance counters alone cannot answer "did the mapping-suite
+    #: cache hit anywhere this process?" — the question the service's
+    #: ``/metrics`` circuit-cache counters report.
+    _namespace_lock = threading.Lock()
+    _namespace_stats: Dict[str, Dict[str, int]] = {}
+
+    @classmethod
+    def global_namespace_stats(cls) -> Dict[str, Dict[str, int]]:
+        """Snapshot of process-wide ``{namespace: {hits, misses}}``."""
+        with cls._namespace_lock:
+            return {ns: dict(stats)
+                    for ns, stats in cls._namespace_stats.items()}
+
+    @classmethod
+    def _record_namespace(cls, namespace: str, hit: bool) -> None:
+        with cls._namespace_lock:
+            stats = cls._namespace_stats.setdefault(
+                namespace, {"hits": 0, "misses": 0})
+            stats["hits" if hit else "misses"] += 1
+
     def __init__(self, max_workers: Optional[int] = None,
                  cache_dir: Optional[os.PathLike] = None) -> None:
         if max_workers is None:
@@ -552,10 +630,12 @@ class ParallelRunner:
                 if hit:
                     with self._stats_lock:
                         self.cache_hits += 1
+                    self._record_namespace(namespace, hit=True)
                     results[k] = value
                     continue
                 with self._stats_lock:
                     self.cache_misses += 1
+                self._record_namespace(namespace, hit=False)
             paths[k] = path
             pending.append(k)
 

@@ -18,26 +18,30 @@ from .library import (
     qgan,
 )
 from .mapping import (
+    ROUTER_CHOICES,
     MappedCircuit,
     evaluation_mappings,
     initial_placement,
     interaction_weights,
     map_circuit,
+    map_suite_arrays,
     route,
     route_basic_arrays,
     sample_connected_subset,
 )
 from .mapping_reference import initial_placement_reference, route_reference
-from .batch import ArrayCircuit, transpile_batched
+from .batch import ArrayCircuit, FrozenArrayCircuit, transpile_batched
 from .sabre import route_sabre
 from .transpile import cancel_pairs, lower_to_basis, merge_rz, transpile
 
 __all__ = [
     "ArrayCircuit",
     "BASIS_GATES",
+    "FrozenArrayCircuit",
     "Gate",
     "KNOWN_GATES",
     "MappedCircuit",
+    "ROUTER_CHOICES",
     "PAPER_BENCHMARKS",
     "PARAMETRIC_GATES",
     "QuantumCircuit",
@@ -54,6 +58,7 @@ __all__ = [
     "ising_chain",
     "lower_to_basis",
     "map_circuit",
+    "map_suite_arrays",
     "merge_rz",
     "qaoa",
     "qgan",

@@ -8,13 +8,18 @@ over *column arrays* (gate-code / qubit / parameter vectors):
 
 * :class:`ArrayCircuit` — a columnar circuit representation convertible
   to and from :class:`~repro.circuits.circuit.QuantumCircuit`;
+* :class:`FrozenArrayCircuit` — its immutable, hashable variant with a
+  cached canonical content digest (the Cirq ``FrozenCircuit`` idiom),
+  which is what makes circuits content-addressed artifacts in the
+  runner cache and the service store;
 * :func:`lower_to_basis_arrays` — one-shot template expansion of every
   IR gate into its full basis decomposition (``np.repeat`` + table
   lookup, no per-gate recursion);
 * :func:`merge_rz_arrays` — the rz-merging peephole as a grouped
   segment reduction over per-qubit runs;
 * :func:`cancel_pairs_arrays` — the self-inverse cancellation pass as a
-  tight loop over plain integers (no ``Gate`` allocation);
+  vectorized candidate scan plus an exact automaton over the (usually
+  tiny) candidate subset;
 * :func:`transpile_batched` — drop-in equivalent of
   :func:`repro.circuits.transpile.transpile`.
 
@@ -31,7 +36,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 import numpy as np
 
@@ -185,16 +190,20 @@ class ArrayCircuit:
         """
         ready = [0.0] * self.num_qubits
         busy = [0.0] * self.num_qubits
-        used = [False] * self.num_qubits
-        codes = self.codes.tolist()
-        q0 = self.q0.tolist()
-        q1 = self.q1.tolist()
-        for i in range(len(codes)):
+        used = np.zeros(self.num_qubits, dtype=bool)
+        used[self.q0] = True
+        two = self.q1 >= 0
+        used[self.q1[two]] = True
+        # Virtual rz rows never move a ready or busy value, so the
+        # recurrence loop only visits timed rows (they still mark their
+        # qubit used above, like the per-gate scan they replace).
+        timed = two | (self.codes != RZ)
+        q0 = self.q0[timed].tolist()
+        q1 = self.q1[timed].tolist()
+        for i in range(len(q0)):
             a = q0[i]
             b = q1[i]
-            used[a] = True
             if b >= 0:
-                used[b] = True
                 ra = ready[a]
                 rb = ready[b]
                 t = (ra if ra >= rb else rb) + two_qubit_ns
@@ -202,16 +211,17 @@ class ArrayCircuit:
                 ready[b] = t
                 busy[a] += two_qubit_ns
                 busy[b] += two_qubit_ns
-            elif codes[i] != RZ:
+            else:
                 ready[a] += single_qubit_ns
                 busy[a] += single_qubit_ns
         total = 0.0
+        used_list = used.tolist()
         for q in range(self.num_qubits):
-            if used[q] and ready[q] > total:
+            if used_list[q] and ready[q] > total:
                 total = ready[q]
         return Schedule(total_ns=total,
                         busy_ns={q: busy[q] for q in range(self.num_qubits)
-                                 if used[q]})
+                                 if used_list[q]})
 
     # -- gate statistics (bincount over columns) ----------------------------
     #
@@ -221,22 +231,39 @@ class ArrayCircuit:
     # the loop version on the decoded circuit (barrier-free by
     # construction), pinned by ``tests/circuits/test_gate_counts.py``.
 
-    def used_qubits(self) -> Set[int]:
-        """Qubits touched by at least one gate (= active qubits)."""
+    def used_qubit_mask(self) -> np.ndarray:
+        """Boolean column (length ``num_qubits``): qubit touched by a gate.
+
+        ``mask.nonzero()`` equals :meth:`used_qubits` — fidelity-model
+        consumers gather against the mask directly instead of building
+        Python sets.
+        """
         touched = np.zeros(self.num_qubits, dtype=bool)
         touched[self.q0] = True
         touched[self.q1[self.q1 >= 0]] = True
-        return set(np.nonzero(touched)[0].tolist())
+        return touched
 
-    def used_pairs(self) -> Set[Tuple[int, int]]:
-        """Canonical ``(lo, hi)`` pairs touched by two-qubit gates."""
+    def used_pair_keys(self) -> np.ndarray:
+        """Sorted unique ``lo * num_qubits + hi`` keys of touched pairs.
+
+        The packed-integer form of :meth:`used_pairs`, suitable for
+        ``np.isin`` against precomputed edge/resonator key columns.
+        """
         two = self.q1 >= 0
         a = self.q0[two]
         b = self.q1[two]
-        keys = np.unique(np.minimum(a, b) * self.num_qubits
+        return np.unique(np.minimum(a, b) * self.num_qubits
                          + np.maximum(a, b))
+
+    def used_qubits(self) -> Set[int]:
+        """Qubits touched by at least one gate (= active qubits)."""
+        return set(np.nonzero(self.used_qubit_mask())[0].tolist())
+
+    def used_pairs(self) -> Set[Tuple[int, int]]:
+        """Canonical ``(lo, hi)`` pairs touched by two-qubit gates."""
         n = self.num_qubits
-        return {(int(k) // n, int(k) % n) for k in keys.tolist()}
+        return {(int(k) // n, int(k) % n)
+                for k in self.used_pair_keys().tolist()}
 
     def two_qubit_counts(self) -> Dict[Tuple[int, int], int]:
         """Number of two-qubit gates per canonical qubit pair."""
@@ -277,6 +304,108 @@ class ArrayCircuit:
         for k, c in zip(keys.tolist(), counts.tolist()):
             out.setdefault(k // ncodes, Counter())[NAME_OF[k % ncodes]] = c
         return out
+
+    def freeze(self) -> "FrozenArrayCircuit":
+        """An immutable, content-addressed snapshot of this circuit.
+
+        Columns are copied and locked, so later mutation of this
+        (mutable) circuit never leaks into the frozen snapshot.
+        """
+        if isinstance(self, FrozenArrayCircuit):
+            return self
+        return FrozenArrayCircuit(self.num_qubits, self.codes, self.q0,
+                                  self.q1, self.params, self.name)
+
+
+def _frozen_column(values: Any, dtype: type) -> np.ndarray:
+    """A locked private copy of one column array."""
+    column = np.array(values, dtype=dtype, copy=True)
+    column.setflags(write=False)
+    return column
+
+
+class FrozenArrayCircuit(ArrayCircuit):
+    """An immutable, hashable, content-addressed :class:`ArrayCircuit`.
+
+    The Cirq ``FrozenCircuit`` idiom applied to the columnar layout:
+
+    * the column arrays are private read-only copies and attribute
+      assignment raises, so instances are safe dictionary keys and
+      cache tokens;
+    * ``__hash__`` is computed once and cached;
+    * :attr:`content_digest` is a canonical sha256 over the circuit
+      *content* (``num_qubits`` plus the four columns, via the
+      :func:`repro.io.serialization.circuit_content` canonical-JSON
+      document).  The ``name`` is deliberately **excluded** — it is a
+      label, not content — and ``__eq__`` matches: two frozen circuits
+      with identical columns but different names are equal and share a
+      digest, which is exactly what lets differently-named aliases of
+      one workload suite share a single compiled artifact fleet-wide.
+
+    All read-only behaviour (stats, scheduling, decode) is inherited
+    unchanged; :meth:`thaw` returns a mutable copy.
+    """
+
+    def __init__(self, num_qubits: int, codes: Any, q0: Any, q1: Any,
+                 params: Any, name: str = "circuit") -> None:
+        d = self.__dict__
+        d["num_qubits"] = int(num_qubits)
+        d["codes"] = _frozen_column(codes, np.int64)
+        d["q0"] = _frozen_column(q0, np.int64)
+        d["q1"] = _frozen_column(q1, np.int64)
+        d["params"] = _frozen_column(params, np.float64)
+        d["name"] = str(name)
+        d["_digest"] = None
+        d["_hash"] = None
+
+    def __setattr__(self, attr: str, value: Any) -> None:
+        raise AttributeError(
+            f"FrozenArrayCircuit is immutable (cannot set {attr!r}); "
+            f"thaw() first")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(
+            f"FrozenArrayCircuit is immutable (cannot delete {attr!r}); "
+            f"thaw() first")
+
+    def __reduce__(self):
+        # Re-run __init__ on unpickle so the columns come back locked.
+        return (FrozenArrayCircuit,
+                (self.num_qubits, self.codes, self.q0, self.q1,
+                 self.params, self.name))
+
+    @property
+    def content_digest(self) -> str:
+        """Cached canonical sha256 content digest (name excluded)."""
+        if self.__dict__["_digest"] is None:
+            from ..io.serialization import circuit_content_digest
+            self.__dict__["_digest"] = circuit_content_digest(self)
+        return self.__dict__["_digest"]
+
+    def __hash__(self) -> int:
+        if self.__dict__["_hash"] is None:
+            self.__dict__["_hash"] = hash(
+                (self.num_qubits, self.content_digest))
+        return self.__dict__["_hash"]
+
+    def __eq__(self, other: Any) -> Any:
+        if not isinstance(other, ArrayCircuit):
+            return NotImplemented
+        # Content equality, bit-exact on params (matches the digest
+        # granularity: -0.0 != 0.0, NaN == NaN) and name-blind.
+        return (self.num_qubits == other.num_qubits
+                and np.array_equal(self.codes, other.codes)
+                and np.array_equal(self.q0, other.q0)
+                and np.array_equal(self.q1, other.q1)
+                and self.params.shape == other.params.shape
+                and self.params.tobytes() == other.params.tobytes())
+
+    def thaw(self) -> ArrayCircuit:
+        """A mutable copy with freshly writable columns."""
+        return ArrayCircuit(num_qubits=self.num_qubits,
+                            codes=self.codes.copy(), q0=self.q0.copy(),
+                            q1=self.q1.copy(), params=self.params.copy(),
+                            name=self.name)
 
 
 # -- lowering templates --------------------------------------------------------
@@ -516,66 +645,105 @@ def _has_cancel_candidates(circuit: ArrayCircuit) -> bool:
 def cancel_pairs_arrays(circuit: ArrayCircuit) -> ArrayCircuit:
     """Cancel adjacent self-inverse pairs and fuse sx.sx -> x.
 
-    Direct port of :func:`repro.circuits.transpile.cancel_pairs` onto
-    plain integer lists — the pass is inherently sequential (each
-    cancellation changes what the next gate sees), but dict lookups over
-    small ints beat ``Gate`` allocation by an order of magnitude.  A
-    vectorized precheck skips the loop outright when no gate pair is
-    even a candidate: every cancellation cascade starts from two
-    same-name gates adjacent in a qubit stream, so absence of that
-    pattern proves the pass is the identity.
+    Output-identical to :func:`repro.circuits.transpile.cancel_pairs`
+    (pinned by the property tests), but the sequential automaton now
+    runs only over *candidate* gates found by a vectorized scan.
+
+    A gate is a candidate when it has a stream-adjacent neighbour it
+    could ever interact with: both codes in {x, sx} on a shared qubit
+    (fusion turns sx into x, so mixed pairs chain), or two cz touching
+    the same oriented qubit pair.  Everything else provably survives
+    untouched: the automaton's ``last`` pointer only ever reaches the
+    previous *appended* gate of a stream, cancellation deletes the
+    pointer outright (links never re-form across a removed pair), and
+    fusion keeps codes inside {x, sx} — so a gate without a compatible
+    original neighbour can never match.  Non-candidates still shape the
+    automaton as stream barriers, which is what the per-candidate
+    barrier flags encode; the surviving gates are then spliced back in
+    original order with one boolean gather.
     """
-    if not _has_cancel_candidates(circuit):
+    codes = circuit.codes
+    n = codes.shape[0]
+    if n < 2:
         return circuit
-    codes = circuit.codes.tolist()
+    g, qb, sl = _stream_incidence(circuit)
+    m = g.shape[0]
+
+    same = qb[1:] == qb[:-1]
+    ca = codes[g[:-1]]
+    cb = codes[g[1:]]
+    xsx = (ca == X) | (ca == SX)
+    cz_pair = (same & (ca == CZ) & (cb == CZ)
+               & (circuit.q0[g[:-1]] == circuit.q0[g[1:]])
+               & (circuit.q1[g[:-1]] == circuit.q1[g[1:]]))
+    # Early exit (the _has_cancel_candidates condition, computed on the
+    # shared incidence list): every cascade starts from two same-name
+    # adjacent gates, so their absence proves the pass is the identity.
+    if not ((same & xsx & (cb == ca)) | cz_pair).any():
+        return circuit
+    edge = (same & xsx & ((cb == X) | (cb == SX))) | cz_pair
+    is_cand = np.zeros(n, dtype=bool)
+    is_cand[g[:-1][edge]] = True
+    is_cand[g[1:][edge]] = True
+
+    # Per-(gate, qubit) barrier flag: the stream predecessor is absent
+    # or a non-candidate, i.e. an appended gate that invalidates
+    # ``last`` for that stream exactly like it would in the full scan.
+    pred_cand = np.zeros(m, dtype=bool)
+    pred_cand[1:] = same & is_cand[g[:-1]]
+    cand_rows = is_cand[g]
+    barrier = ~pred_cand
+    bar0 = np.zeros(n, dtype=bool)
+    bar1 = np.zeros(n, dtype=bool)
+    sel0 = cand_rows & (sl == 0)
+    sel1 = cand_rows & (sl == 1)
+    bar0[g[sel0]] = barrier[sel0]
+    bar1[g[sel1]] = barrier[sel1]
+
+    cur = codes.tolist()
     q0 = circuit.q0.tolist()
     q1 = circuit.q1.tolist()
-    params = circuit.params.tolist()
-    out_c: List[int] = []
-    out_a: List[int] = []
-    out_b: List[int] = []
-    out_p: List[float] = []
+    removed = np.zeros(n, dtype=bool)
+    bar0_l = bar0.tolist()
+    bar1_l = bar1.tolist()
     last: Dict[int, int] = {}
-
-    for i in range(len(codes)):
-        code = codes[i]
+    for i in np.nonzero(is_cand)[0].tolist():
         a = q0[i]
+        if bar0_l[i] and a in last:
+            del last[a]
+        code = cur[i]
         if code == SX or code == X:
             prev = last.get(a)
-            if prev is not None and out_c[prev] == code and out_a[prev] == a:
+            if prev is not None and cur[prev] == code and q0[prev] == a:
                 if code == SX:
-                    out_c[prev] = X
+                    cur[prev] = X
                 else:
-                    out_c[prev] = -1
+                    removed[prev] = True
                     del last[a]
+                removed[i] = True
                 continue
-        elif code == CZ:
+            last[a] = i
+        else:  # CZ -- candidate codes are only ever x, sx or cz
             b = q1[i]
+            if bar1_l[i] and b in last:
+                del last[b]
             prev = last.get(a)
-            if (prev is not None and out_c[prev] == CZ
-                    and out_a[prev] == a and out_b[prev] == b
-                    and last.get(b) == prev):
-                out_c[prev] = -1
+            if (prev is not None and cur[prev] == CZ and q0[prev] == a
+                    and q1[prev] == b and last.get(b) == prev):
+                removed[prev] = True
+                removed[i] = True
                 del last[a]
                 del last[b]
                 continue
-        out_c.append(code)
-        out_a.append(a)
-        b = q1[i]
-        out_b.append(b)
-        out_p.append(params[i])
-        idx = len(out_c) - 1
-        last[a] = idx
-        if b >= 0:
-            last[b] = idx
+            last[a] = i
+            last[b] = i
 
-    arr_c = np.array(out_c, dtype=np.int64)
-    alive = arr_c >= 0
+    keep = ~removed
     return ArrayCircuit(num_qubits=circuit.num_qubits,
-                        codes=arr_c[alive],
-                        q0=np.array(out_a, dtype=np.int64)[alive],
-                        q1=np.array(out_b, dtype=np.int64)[alive],
-                        params=np.array(out_p, dtype=np.float64)[alive],
+                        codes=np.array(cur, dtype=np.int64)[keep],
+                        q0=circuit.q0[keep],
+                        q1=circuit.q1[keep],
+                        params=circuit.params[keep],
                         name=circuit.name)
 
 

@@ -413,12 +413,15 @@ def cmd_workloads_build(args: argparse.Namespace) -> int:
     import time
 
     from .circuits.batch import transpile_batched
+    from .io.serialization import circuit_content_digest
     from .workloads import resolve_workload_names, get_workload
 
     names = []
     for item in args.names:
         names.extend(resolve_workload_names(item))
     headers = ["workload", "qubits", "gates", "2q gates", "depth"]
+    if args.digest:
+        headers += ["content digest"]
     if args.transpile:
         headers += ["basis gates", "basis depth", "transpile (s)"]
     rows = []
@@ -426,6 +429,8 @@ def cmd_workloads_build(args: argparse.Namespace) -> int:
         circuit = get_workload(name)
         row = [name, circuit.num_qubits, circuit.size,
                circuit.two_qubit_gate_count, circuit.depth()]
+        if args.digest:
+            row += [circuit_content_digest(circuit)[:16]]
         if args.transpile:
             start = time.perf_counter()
             basis = transpile_batched(circuit)
@@ -721,6 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--transpile", action="store_true",
                    help="also transpile to the native basis (batched "
                         "engine) and report basis gate counts + time")
+    w.add_argument("--digest", action="store_true",
+                   help="also print each circuit's content digest "
+                        "(the cache identity; truncated to 16 hex chars)")
     w.set_defaults(func=cmd_workloads_build)
 
     w = wsub.add_parser("evaluate",

@@ -80,6 +80,16 @@ class ViolationTable:
         g_ghz: Parasitic coupling strength per violation.
         detuning_ghz: Frequency detuning per violation.
         is_qq: True for qubit-qubit violations.
+        res_keys: Per-netlist-resonator endpoint key ``e0 * n + e1`` in
+            the resonator's stored orientation (``None`` when the
+            layout carries no netlist).  Matches the set semantics of
+            :func:`_active_resonator_indices` exactly: a resonator with
+            non-canonical endpoint order never matches a canonical
+            active-pair key, in either representation.
+        res_index: Resonator index aligned with ``res_keys``.
+        num_phys: Topology qubit count the keys were built against.
+        res_mask_size: Length of the resonator activity mask
+            (``max resonator index + 1``).
     """
 
     violations: List[SpatialViolation]
@@ -90,6 +100,10 @@ class ViolationTable:
     g_ghz: np.ndarray
     detuning_ghz: np.ndarray
     is_qq: np.ndarray
+    res_keys: Optional[np.ndarray] = None
+    res_index: Optional[np.ndarray] = None
+    num_phys: int = 0
+    res_mask_size: int = 0
 
     @classmethod
     def build(cls, layout: Layout,
@@ -118,6 +132,19 @@ class ViolationTable:
                     qubit_idx[row, col] = inst.index
                 elif isinstance(inst, ResonatorSegment):
                     res_idx[row, col] = inst.resonator_index
+        res_keys = res_index = None
+        num_phys = 0
+        res_mask_size = 0
+        if layout.netlist is not None:
+            resonators = layout.netlist.resonators
+            num_phys = layout.netlist.topology.num_qubits
+            res_keys = np.fromiter(
+                (r.endpoints[0] * num_phys + r.endpoints[1]
+                 for r in resonators),
+                dtype=np.int64, count=len(resonators))
+            res_index = np.fromiter((r.index for r in resonators),
+                                    dtype=np.int64, count=len(resonators))
+            res_mask_size = int(res_index.max()) + 1 if len(resonators) else 0
         return cls(
             violations=violations,
             qubit_i=qubit_idx[:, 0], qubit_j=qubit_idx[:, 1],
@@ -127,6 +154,10 @@ class ViolationTable:
                                   dtype=float),
             is_qq=np.array([v.kind == KIND_QQ for v in violations],
                            dtype=bool),
+            res_keys=res_keys,
+            res_index=res_index,
+            num_phys=num_phys,
+            res_mask_size=res_mask_size,
         )
 
     def __len__(self) -> int:
@@ -144,6 +175,37 @@ class ViolationTable:
                          count=len(active_resonators))
         return (np.isin(self.qubit_i, aq) | np.isin(self.qubit_j, aq)
                 | np.isin(self.res_i, ar) | np.isin(self.res_j, ar))
+
+    def active_resonator_mask(self, pair_keys: np.ndarray
+                              ) -> Optional[np.ndarray]:
+        """Resonator activity mask from active coupler pair keys.
+
+        ``pair_keys`` is :meth:`repro.circuits.batch.ArrayCircuit.
+        used_pair_keys` output (canonical ``lo * n + hi`` keys over the
+        same topology the table was built on).  Boolean-identical to
+        ``{r.index for r in resonators if r.endpoints in active_edges}``
+        — the mask form of :func:`_active_resonator_indices`.  Returns
+        ``None`` when the table carries no netlist columns.
+        """
+        if self.res_keys is None:
+            return None
+        mask = np.zeros(self.res_mask_size, dtype=bool)
+        if len(self.res_keys):
+            mask[self.res_index[np.isin(self.res_keys, pair_keys)]] = True
+        return mask
+
+    def active_mask_from_masks(self, qubit_mask: np.ndarray,
+                               resonator_mask: np.ndarray) -> np.ndarray:
+        """Mask-gather form of :meth:`active_mask` (identical booleans).
+
+        Appends a ``False`` sentinel so the ``-1`` slots of non-qubit /
+        non-resonator members gather to inactive, exactly like absence
+        from the active sets.
+        """
+        qm = np.append(qubit_mask, False)
+        rm = np.append(resonator_mask, False)
+        return (qm[self.qubit_i] | qm[self.qubit_j]
+                | rm[self.res_i] | rm[self.res_j])
 
     def crosstalk_errors(self, duration_ns: float) -> np.ndarray:
         """Worst-case swap probability per violation (Eq. 16), vectorized.
@@ -206,9 +268,24 @@ def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
             detuning_threshold_ghz=params.detuning_threshold_ghz)
 
     duration = mapped.duration_ns
-    active_qubits = mapped.active_qubits
-    active_edges = mapped.active_edges
-    active_resonators = _active_resonator_indices(layout, active_edges)
+
+    # --- active components ------------------------------------------------
+    # Column masks when the mapping pipeline kept its arrays (zero gate
+    # decode, no Python sets); set scan otherwise.  Both branches yield
+    # the same activity booleans, so every factor below is bit-identical.
+    qubit_mask = mapped.active_qubit_mask
+    use_masks = (qubit_mask is not None and table.res_keys is not None
+                 and qubit_mask.shape[0] == table.num_phys)
+    if use_masks:
+        res_mask = table.active_resonator_mask(mapped.active_pair_keys)
+        num_active_qubits = int(qubit_mask.sum())
+        num_active_resonators = int(res_mask.sum())
+    else:
+        active_qubits = mapped.active_qubits
+        active_resonators = _active_resonator_indices(layout,
+                                                      mapped.active_edges)
+        num_active_qubits = len(active_qubits)
+        num_active_resonators = len(active_resonators)
 
     # --- gate errors -----------------------------------------------------
     # Columnar totals when the mapping pipeline kept its arrays: no
@@ -219,14 +296,17 @@ def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
 
     # --- decoherence over the full duration for every active qubit --------
     eps_dec = decoherence_error(duration, params)
-    decoherence_factor = (1.0 - eps_dec) ** len(active_qubits)
+    decoherence_factor = (1.0 - eps_dec) ** num_active_qubits
 
     # --- crosstalk on violating active pairs ------------------------------
     qq_factor = 1.0
     rr_factor = 1.0
     pair_count = 0
     if len(table):
-        active = table.active_mask(active_qubits, active_resonators)
+        if use_masks:
+            active = table.active_mask_from_masks(qubit_mask, res_mask)
+        else:
+            active = table.active_mask(active_qubits, active_resonators)
         pair_count = int(active.sum())
         if pair_count:
             eps = table.crosstalk_errors(duration)
@@ -240,8 +320,8 @@ def estimate_program_fidelity(layout: Layout, mapped: MappedCircuit,
         decoherence_factor=decoherence_factor,
         qubit_crosstalk_factor=qq_factor,
         resonator_crosstalk_factor=rr_factor,
-        active_qubits=len(active_qubits),
-        active_resonators=len(active_resonators),
+        active_qubits=num_active_qubits,
+        active_resonators=num_active_resonators,
         crosstalk_pairs=pair_count,
     )
 

@@ -17,6 +17,7 @@ digests may safely share one cached result.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -72,6 +73,65 @@ def canonical_json(obj: Any) -> str:
     """Deterministic compact JSON of :func:`canonicalize` output."""
     return json.dumps(canonicalize(obj), sort_keys=True,
                       separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Circuit content documents — what a circuit digest is computed over
+# ---------------------------------------------------------------------------
+
+#: Format tag of the columnar circuit content document.
+CIRCUIT_CONTENT_FORMAT = "repro.array-circuit-content.v1"
+#: Format tag of the gate-list fallback (circuits the columnar layout
+#: cannot encode, i.e. ones containing barriers).
+GATE_CONTENT_FORMAT = "repro.gate-circuit-content.v1"
+
+
+def circuit_content(circuit: Any) -> Dict:
+    """Canonical-JSON-able content document of a circuit.
+
+    Accepts an :class:`~repro.circuits.batch.ArrayCircuit` (frozen or
+    not) or a :class:`~repro.circuits.circuit.QuantumCircuit`.  The
+    document covers the circuit *content* only — width plus the gate
+    columns — and deliberately excludes the circuit ``name``, so
+    differently-named aliases of the same workload share one digest.
+
+    ``QuantumCircuit`` inputs are encoded to columns first whenever the
+    columnar layout supports them, so the digest of a circuit equals
+    the digest of its array encoding; barrier-carrying circuits fall
+    back to a tagged gate-tuple document.  Column floats survive the
+    JSON round-trip bit-exactly (Python float repr is lossless), which
+    is what makes the digest stable across processes.
+    """
+    from ..circuits.batch import ArrayCircuit
+    if not isinstance(circuit, ArrayCircuit):
+        try:
+            circuit = ArrayCircuit.from_circuit(circuit)
+        except ValueError:
+            return {"format": GATE_CONTENT_FORMAT,
+                    "num_qubits": int(circuit.num_qubits),
+                    "gates": [[gate.name, list(gate.qubits),
+                               list(gate.params)]
+                              for gate in circuit.gates]}
+    return {"format": CIRCUIT_CONTENT_FORMAT,
+            "num_qubits": int(circuit.num_qubits),
+            "codes": circuit.codes.tolist(),
+            "q0": circuit.q0.tolist(),
+            "q1": circuit.q1.tolist(),
+            "params": circuit.params.tolist()}
+
+
+def circuit_content_digest(circuit: Any) -> str:
+    """sha256 over the canonical JSON of :func:`circuit_content`.
+
+    The circuit-level analogue of the runner's job tokens and the
+    service's request digests: equal digests mean identical compile
+    input, so a suite digest is a licence to reuse a compiled artifact
+    (see :attr:`repro.circuits.batch.FrozenArrayCircuit.content_digest`
+    and the ``circuit_digest`` keying of
+    :class:`repro.analysis.runner.MappingJob`).
+    """
+    payload = canonical_json(circuit_content(circuit))
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def plan_to_dict(plan: FrequencyPlan) -> Dict:

@@ -352,6 +352,15 @@ class PlacementService:
             "runner_cache_hits": runner.cache_hits,
             "runner_cache_misses": runner.cache_misses,
         })
+        # Content-addressed circuit-compile cache activity ("mappings"
+        # namespace, process-wide): identical workload suites submitted
+        # under any name compile once; re-submissions show up as hits.
+        circuit_stats = ParallelRunner.global_namespace_stats().get(
+            "mappings", {})
+        merged.update({
+            "circuit_cache_hits": circuit_stats.get("hits", 0),
+            "circuit_cache_misses": circuit_stats.get("misses", 0),
+        })
         # Per-phase placement seconds accumulated by every place request
         # this process has executed (see :mod:`repro.profiling`).
         merged["phases"] = profiling.global_phases()

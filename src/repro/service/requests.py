@@ -28,13 +28,16 @@ from dataclasses import dataclass, fields
 from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type, Union
 
 from .. import constants
+from ..circuits.mapping import ROUTER_CHOICES
 from ..core.config import PlacerConfig
 
 #: The three placement strategies a request may score.
 _KNOWN_STRATEGIES = frozenset({"qplacer", "classic", "human"})
 
-#: Routers understood by the mapping pipeline.
-_KNOWN_ROUTERS = frozenset({"basic", "sabre"})
+#: Routers understood by the mapping pipeline — the single source of
+#: truth is :data:`repro.circuits.mapping.ROUTER_CHOICES`, so the
+#: service 400s exactly the names ``map_circuit`` would reject.
+_KNOWN_ROUTERS = frozenset(ROUTER_CHOICES)
 
 
 class RequestError(ValueError):

@@ -328,11 +328,18 @@ class Scheduler:
                 runner=self.runner, store=self.store,
                 queue=self.queue), job)
             elapsed = time.perf_counter() - started
-            self.store.put(job.digest, result, metadata={
+            metadata = {
                 "kind": job.kind,
                 "request": _canonical_request(job.request),
                 "compute_s": elapsed,
-            })
+            }
+            # Content-addressed artifacts (map results carry the circuit
+            # digest) are discoverable by circuit via the store's
+            # metadata scan without loading result payloads.
+            if (isinstance(result, dict)
+                    and result.get("circuit_digest") is not None):
+                metadata["circuit_digest"] = result["circuit_digest"]
+            self.store.put(job.digest, result, metadata=metadata)
         except JobCancelled:
             self.queue.cancel_claimed(job.job_id)
             return

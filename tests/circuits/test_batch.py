@@ -138,6 +138,42 @@ class TestCancellationSemantics:
         names = [g.name for g in self._run(qc).gates]
         assert names == ["sx", "sx"]
 
+    def test_fusion_chains_into_cancellation(self):
+        # x sx sx x: the sx pair fuses to x in place, and THAT x then
+        # cancels with the trailing x — one surviving leading x.  The
+        # candidate filter must treat mixed x/sx neighbours as
+        # cancellation-relevant or this chain is missed.
+        qc = QuantumCircuit(1)
+        qc.x(0).sx(0).sx(0).x(0)
+        names = [g.name for g in self._run(qc).gates]
+        assert names == ["x"]
+
+    def test_non_candidate_gate_is_stream_barrier(self):
+        # rz never cancels, but it still severs the stream between the
+        # two x's — they must not pair across it.
+        qc = QuantumCircuit(1)
+        qc.x(0).rz(0, 0.5).x(0)
+        names = [g.name for g in self._run(qc).gates]
+        assert names == ["x", "rz", "x"]
+
+    def test_cz_chain_cancels_pairwise(self):
+        # cz cz cz cz on one edge: pairs (0,1) and (2,3) cancel; an odd
+        # trailing cz survives.
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1).cz(0, 1).cz(0, 1).cz(0, 1)
+        assert self._run(qc).gates == []
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1).cz(0, 1).cz(0, 1)
+        assert len(self._run(qc).gates) == 1
+
+    def test_partner_stream_barrier_blocks_cz(self):
+        # An x on qubit 1 between the cz's severs qubit 1's stream, so
+        # the cz pair must not cancel even though qubit 0's stream is
+        # uninterrupted.
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1).x(1).cz(0, 1)
+        assert len(self._run(qc).gates) == 3
+
 
 class TestSemantics:
     """Batched output is unitarily equivalent to the input circuit."""
