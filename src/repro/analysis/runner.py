@@ -75,7 +75,11 @@ from ..io.serialization import canonical_json
 #:    eager decoded circuit), MappingJob grew content-addressed
 #:    ``circuit_digest`` keying, and suites compile through the
 #:    suite-batched ``map_suite_arrays`` pass.
-CACHE_SCHEMA_VERSION = 8
+#: 9: disorder-ensemble engine — independent qubit/resonator disorder
+#:    streams change every disorder realisation, map request digests
+#:    key on the circuit content digest (layer-1 coalescing), and the
+#:    service gained the ``ensemble`` request kind.
+CACHE_SCHEMA_VERSION = 9
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"

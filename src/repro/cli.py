@@ -25,6 +25,9 @@ Commands:
 * ``refine``    — anytime simulated-annealing refinement of a stored
   placement artifact through a running service, streaming each
   published improvement (``docs/placers.md``)
+* ``ensemble``  — Monte-Carlo disorder-ensemble sweep: yield and
+  fidelity curves over fabrication sigma, with optional incremental
+  re-place repair of failing samples (``docs/ensembles.md``)
 """
 
 from __future__ import annotations
@@ -643,6 +646,87 @@ def cmd_refine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sigma_list(text: str) -> List[float]:
+    """argparse type: comma-separated sigmas, each in [0, 1] GHz."""
+    sigmas: List[float] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            value = float(token)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected comma-separated numbers, got {token!r}") from None
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"sigma must be in [0, 1] GHz, got {value}")
+        sigmas.append(value)
+    if not sigmas:
+        raise argparse.ArgumentTypeError("expected at least one sigma")
+    return sigmas
+
+
+def cmd_ensemble(args: argparse.Namespace) -> int:
+    """Run a disorder-ensemble sweep locally and print the yield curve."""
+    from .ensembles import run_ensemble_request
+
+    runner = _runner_from(args)
+    config = _config_from(args)
+
+    def on_point(index: int, point) -> None:
+        repair = point.get("repair")
+        suffix = ""
+        if repair is not None:
+            suffix = (f", after repair "
+                      f"{point['yield_after_repair'] * 100:.1f}%")
+        print(f"  sigma {point['sigma_qubit_ghz']:g} GHz: yield "
+              f"{point['yield'] * 100:.1f}%{suffix} "
+              f"[{index + 1}/{len(args.sigma)}]", flush=True)
+
+    payload = run_ensemble_request(
+        topology=args.topology, sigmas=args.sigma, samples=args.samples,
+        resonator_sigma_scale=args.resonator_sigma_scale,
+        base_seed=args.base_seed, strategy=args.strategy,
+        segment_size_mm=args.segment_size, seed=args.seed, config=config,
+        repair_samples=args.repair, max_ph_percent=args.max_ph_percent,
+        warm_start=args.warm_start, bootstrap=args.bootstrap,
+        runner=runner, chunk_size=args.chunk_size, on_point=on_point)
+
+    rows = []
+    for point in payload["points"]:
+        lo, hi = point["yield_ci"]
+        flo, fhi = point["fidelity_ci"]
+        repair = point.get("repair")
+        after = (f"{point['yield_after_repair'] * 100:.1f}%"
+                 if repair is not None else "-")
+        rows.append([
+            f"{point['sigma_qubit_ghz']:g}",
+            f"{point['sigma_resonator_ghz']:g}",
+            f"{point['yield'] * 100:.1f}%",
+            f"[{lo * 100:.1f}, {hi * 100:.1f}]%",
+            after,
+            f"{point['mean_ph_percent']:.3f}",
+            f"{point['mean_hotspots']:.2f}",
+            f"{point['fidelity_mean']:.6f}",
+            f"[{flo:.6f}, {fhi:.6f}]",
+        ])
+    print(format_table(
+        ["sigma_q", "sigma_r", "yield", "yield 95% CI", "after repair",
+         "mean Ph%", "hotspots", "fidelity", "fidelity 95% CI"],
+        rows,
+        title=f"{args.topology}: disorder-ensemble yield curve "
+              f"({args.samples} samples/point, strategy {args.strategy})"))
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.json).write_text(_json.dumps(payload, indent=2,
+                                               sort_keys=True))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -817,6 +901,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="annealing seed (default 0)")
     p.set_defaults(func=cmd_refine)
+
+    p = sub.add_parser("ensemble",
+                       help="Monte-Carlo disorder-ensemble sweep: "
+                            "yield/fidelity curves over fabrication "
+                            "sigma, with optional incremental re-place "
+                            "repair of failing samples")
+    _add_common_placer_args(p)
+    p.add_argument("--sigma", type=_sigma_list, default=[0.01, 0.02, 0.05],
+                   metavar="S1,S2,...",
+                   help="comma-separated qubit-frequency sigmas in GHz "
+                        "(default 0.01,0.02,0.05)")
+    p.add_argument("--samples", type=_positive_int, default=64,
+                   help="disorder realisations per sigma point "
+                        "(default 64)")
+    p.add_argument("--resonator-sigma-scale", type=_nonnegative_float,
+                   default=0.5, metavar="SCALE",
+                   help="resonator sigma = qubit sigma x this scale "
+                        "(default 0.5)")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="ensemble entropy root; sample i draws from "
+                        "SeedSequence(base_seed, spawn_key=(i,)) "
+                        "(default 0)")
+    p.add_argument("--strategy", default="qplacer",
+                   choices=("qplacer", "classic", "human"),
+                   help="which placement to freeze and score "
+                        "(default qplacer)")
+    p.add_argument("--repair", type=int, default=0, metavar="N",
+                   help="incrementally re-place up to N failing samples "
+                        "per sigma point (legalize + detailed repair on "
+                        "the cached positions; default 0 = frozen only)")
+    p.add_argument("--max-ph-percent", type=_nonnegative_float,
+                   default=0.0,
+                   help="pass threshold on the hotspot poly share Ph "
+                        "(default 0.0 = zero hotspots)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="warm-start the base placement from the runner "
+                        "cache when available")
+    p.add_argument("--bootstrap", type=int, default=200,
+                   help="bootstrap resamples for the yield/fidelity "
+                        "confidence intervals (default 200; 0 disables)")
+    p.add_argument("--chunk-size", type=_positive_int, default=None,
+                   metavar="N",
+                   help="samples per runner chunk (default: samples / "
+                        "workers, rounded up)")
+    p.add_argument("--json", help="write the full payload to this path")
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_ensemble)
     return parser
 
 

@@ -198,7 +198,8 @@ class DetailedPlacer:
 
     def refine(self, positions: np.ndarray,
                max_passes: int = 3,
-               neighbor_radius_mm: float = 1.5
+               neighbor_radius_mm: float = 1.5,
+               only: Optional[np.ndarray] = None
                ) -> Tuple[np.ndarray, DetailedPlaceStats]:
         """Refine a legal placement; returns (positions, stats).
 
@@ -206,12 +207,19 @@ class DetailedPlacer:
             positions: Legalized instance centres.
             max_passes: Sweeps over all instances.
             neighbor_radius_mm: Swap-partner search radius.
+            only: Optional instance indices to restrict the sweep to.
+                Swap *partners* still come from the full spatial hash;
+                only the set of instances visited shrinks.  Incremental
+                flows (ensemble repair) pass the instances the
+                legalizer actually disturbed.
         """
         with profiling.phase("detailed"):
-            return self._refine(positions, max_passes, neighbor_radius_mm)
+            return self._refine(positions, max_passes, neighbor_radius_mm,
+                                only)
 
     def _refine(self, positions: np.ndarray, max_passes: int,
-                neighbor_radius_mm: float
+                neighbor_radius_mm: float,
+                only: Optional[np.ndarray] = None
                 ) -> Tuple[np.ndarray, DetailedPlaceStats]:
         p = self.problem
         legalizer = Legalizer(p, self.config)
@@ -220,11 +228,17 @@ class DetailedPlacer:
         stats = DetailedPlaceStats(hpwl_before=hpwl(positions, p.nets))
         kind_id = self._kind_id
         wl = self._instance_wl_all(legalizer.positions)
+        visit = None
+        if only is not None:
+            visit = np.zeros(p.num_instances, dtype=bool)
+            visit[np.asarray(only, dtype=np.int64)] = True
 
         for _ in range(max_passes):
             stats.passes += 1
             improved = False
             order = np.argsort(-wl, kind="stable")
+            if visit is not None:
+                order = order[visit[order]]
             for i in order.tolist():
                 xi, yi = legalizer.positions[i]
                 js = legalizer.neighbors(float(xi), float(yi),
@@ -265,8 +279,10 @@ class DetailedPlacer:
 
 def refine_placement(problem: PlacementProblem, positions: np.ndarray,
                      config: Optional[PlacerConfig] = None,
-                     max_passes: int = 3
+                     max_passes: int = 3,
+                     only: Optional[np.ndarray] = None
                      ) -> Tuple[np.ndarray, DetailedPlaceStats]:
     """Convenience wrapper around :class:`DetailedPlacer`."""
     return DetailedPlacer(problem, config).refine(positions,
-                                                  max_passes=max_passes)
+                                                  max_passes=max_passes,
+                                                  only=only)

@@ -1,0 +1,76 @@
+"""Monte-Carlo disorder-ensemble engine (Sec. V-C at scale).
+
+Answers the question the paper only gestures at — *does this chip
+still work when fabrication wobbles?* — by drawing N frequency-disorder
+realisations per topology as columnar arrays, re-scoring the frozen
+layout across the whole ensemble in one vectorized pass, and
+incrementally repairing the failures through the transactional
+legalize/detailed pipeline instead of placing from scratch.
+
+Layers (see ``docs/ensembles.md``):
+
+* :mod:`~repro.ensembles.spec` — content-addressed
+  :class:`DisorderSpec` / :class:`EnsembleSpec`;
+* :mod:`~repro.ensembles.sampling` — chunk-invariant
+  ``SeedSequence``-tree batch sampler;
+* :mod:`~repro.ensembles.evaluation` — the positional-precompute
+  :class:`FrozenLayoutScorer` plus bootstrap yield/fidelity summaries;
+* :mod:`~repro.ensembles.repair` — incremental re-place repair and the
+  from-scratch baseline it races;
+* :mod:`~repro.ensembles.jobs` — runner chunk fan-out and the shared
+  request executor body (the service's ``ensemble`` kind and the
+  ``repro ensemble`` CLI both call :func:`run_ensemble_request`).
+"""
+
+from .evaluation import (
+    DEFAULT_EXPOSURE_NS,
+    EnsembleScores,
+    FrozenLayoutScorer,
+    bootstrap_ci,
+    summarize_scores,
+)
+from .jobs import (
+    EnsembleChunkJob,
+    run_ensemble_chunk,
+    run_ensemble_request,
+    split_ensemble,
+)
+from .repair import (
+    RepairResult,
+    check_layout_legal,
+    place_from_scratch,
+    problem_with_frequencies,
+    repair_positions,
+    repair_sample,
+)
+from .sampling import (
+    DisorderBatch,
+    child_seed_sequence,
+    sample_batch,
+    sample_ensemble,
+)
+from .spec import DisorderSpec, EnsembleSpec
+
+__all__ = [
+    "DEFAULT_EXPOSURE_NS",
+    "DisorderBatch",
+    "DisorderSpec",
+    "EnsembleChunkJob",
+    "EnsembleScores",
+    "EnsembleSpec",
+    "FrozenLayoutScorer",
+    "RepairResult",
+    "bootstrap_ci",
+    "check_layout_legal",
+    "child_seed_sequence",
+    "place_from_scratch",
+    "problem_with_frequencies",
+    "repair_positions",
+    "repair_sample",
+    "run_ensemble_chunk",
+    "run_ensemble_request",
+    "sample_batch",
+    "sample_ensemble",
+    "split_ensemble",
+    "summarize_scores",
+]

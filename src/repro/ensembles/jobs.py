@@ -1,0 +1,254 @@
+"""Ensemble fan-out: chunk jobs, the runner pipeline, and the request
+executor body.
+
+An ensemble request fans exactly like a chunked map request: the sample
+range ``[0, samples)`` splits into :class:`EnsembleChunkJob` slices
+that flow through :meth:`~repro.analysis.runner.ParallelRunner.map`
+under the ``"ensembles"`` cache namespace.  Chunk results are pure
+per-sample score lists, so they concatenate into the same arrays a
+single whole-ensemble evaluation would produce (chunk-boundary
+invariance is a property of the sampler, see
+:mod:`repro.ensembles.sampling`).
+
+A chunk's cache key deliberately omits the ensemble's *total* sample
+count: sample ``i`` is fully defined by ``(layout, disorder, base_seed,
+i)``, so growing an ensemble from 64 to 256 samples re-uses every
+cached chunk of the first 64.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import constants, profiling
+from ..core.config import PlacerConfig
+from ..crosstalk.hotspots import hotspot_report
+from ..devices.disorder import netlist_with_frequencies
+from ..io.serialization import canonical_json, layout_from_dict
+from .evaluation import (
+    DEFAULT_EXPOSURE_NS,
+    EnsembleScores,
+    FrozenLayoutScorer,
+    summarize_scores,
+)
+from .repair import repair_sample
+from .sampling import sample_batch
+from .spec import DisorderSpec, EnsembleSpec
+
+
+@dataclass(frozen=True)
+class EnsembleChunkJob:
+    """Score samples ``[start, start+count)`` of one disorder setting.
+
+    ``layout_doc`` is the serialised frozen layout
+    (:func:`~repro.io.serialization.layout_to_dict` output) so the job
+    pickles cleanly into worker processes and the runner cache; the
+    cache key swaps it for its content digest.
+    """
+
+    layout_doc: Dict
+    sigma_qubit_ghz: float
+    sigma_resonator_ghz: float
+    base_seed: int
+    start: int
+    count: int
+    detuning_threshold_ghz: float = constants.DETUNING_THRESHOLD_GHZ
+    duration_ns: float = DEFAULT_EXPOSURE_NS
+
+    def cache_key(self) -> Dict:
+        """Content-addressed identity for the runner's pickle cache."""
+        layout_digest = hashlib.sha256(
+            canonical_json(self.layout_doc).encode()).hexdigest()
+        return {
+            "kind": "ensemble-chunk",
+            "layout_digest": layout_digest,
+            "sigma_qubit_ghz": self.sigma_qubit_ghz,
+            "sigma_resonator_ghz": self.sigma_resonator_ghz,
+            "base_seed": self.base_seed,
+            "start": self.start,
+            "count": self.count,
+            "detuning_threshold_ghz": self.detuning_threshold_ghz,
+            "duration_ns": self.duration_ns,
+        }
+
+
+def run_ensemble_chunk(job: EnsembleChunkJob) -> Dict[str, List]:
+    """Evaluate one chunk; returns JSON-able per-sample score lists."""
+    layout = layout_from_dict(job.layout_doc)
+    scorer = FrozenLayoutScorer(
+        layout, detuning_threshold_ghz=job.detuning_threshold_ghz,
+        duration_ns=job.duration_ns)
+    with profiling.phase("sample"):
+        batch = sample_batch(
+            layout.netlist,
+            DisorderSpec(job.sigma_qubit_ghz, job.sigma_resonator_ghz),
+            job.base_seed, start=job.start, count=job.count)
+    scores = scorer.score_batch(batch.qubit_freqs, batch.resonator_freqs)
+    return {
+        "start": job.start,
+        "ph_percent": [float(x) for x in scores.ph_percent],
+        "num_hotspots": [int(x) for x in scores.num_hotspots],
+        "impacted_qubits": [int(x) for x in scores.impacted_qubits],
+        "fidelity_proxy": [float(x) for x in scores.fidelity_proxy],
+    }
+
+
+def _scores_from_chunks(chunks: Sequence[Dict[str, List]]) -> EnsembleScores:
+    ordered = sorted(chunks, key=lambda c: c["start"])
+    return EnsembleScores(
+        ph_percent=np.concatenate(
+            [np.asarray(c["ph_percent"], dtype=float) for c in ordered]),
+        num_hotspots=np.concatenate(
+            [np.asarray(c["num_hotspots"], dtype=np.int64)
+             for c in ordered]),
+        impacted_qubits=np.concatenate(
+            [np.asarray(c["impacted_qubits"], dtype=np.int64)
+             for c in ordered]),
+        fidelity_proxy=np.concatenate(
+            [np.asarray(c["fidelity_proxy"], dtype=float)
+             for c in ordered]))
+
+
+def split_ensemble(samples: int, chunk_size: int) -> List[range]:
+    """Sample index ranges of the chunked ensemble."""
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [range(s, min(s + chunk_size, samples))
+            for s in range(0, samples, chunk_size)]
+
+
+def run_ensemble_request(topology: str, sigmas: Sequence[float],
+                         samples: int, resonator_sigma_scale: float,
+                         base_seed: int, strategy: str,
+                         segment_size_mm: float, seed: int,
+                         config: Optional[PlacerConfig],
+                         repair_samples: int, max_ph_percent: float,
+                         warm_start: bool, bootstrap: int,
+                         runner: "ParallelRunner",
+                         chunk_size: Optional[int] = None,
+                         store=None,
+                         on_point: Optional[Callable[[int, Dict], None]] = None
+                         ) -> Dict[str, object]:
+    """Execute one ensemble request (shared by service and CLI paths).
+
+    For each sigma point: fan the sample range through the runner as
+    cached :class:`EnsembleChunkJob` chunks, summarise into a yield /
+    fidelity curve point with bootstrap intervals, then incrementally
+    repair up to ``repair_samples`` failing realisations (cached
+    positions -> legalize -> transactional detailed pass) and report
+    yield-after-repair next to the frozen yield.  ``on_point`` fires
+    after each completed point — the service executor uses it to stream
+    progress and publish partial artifacts; it may raise (e.g.
+    ``JobCancelled``) to abort the sweep.
+    """
+    from ..analysis.experiments import _effective_config, run_place_request
+    from ..core.preprocess import build_problem
+
+    effective = _effective_config(config, seed, segment_size_mm)
+    design_problem = None
+    with profiling.PhaseProfiler() as prof:
+        with profiling.phase("ensemble/layout"):
+            place_payload = run_place_request(
+                topology, segment_size_mm, [strategy], seed, config,
+                include_layouts=True, runner=runner,
+                warm_start=warm_start, store=store)
+            layout_doc = place_payload["strategies"][strategy]["layout"]
+            layout = layout_from_dict(layout_doc)
+        netlist = layout.netlist
+
+        if chunk_size is None:
+            workers = max(1, int(getattr(runner, "max_workers", 1) or 1))
+            chunk_size = max(1, -(-samples // workers))
+
+        points: List[Dict[str, object]] = []
+        for k, sigma in enumerate(sigmas):
+            sigma_q = float(sigma)
+            sigma_r = float(sigma) * float(resonator_sigma_scale)
+            spec = EnsembleSpec(
+                topology=topology, strategy=strategy,
+                segment_size_mm=segment_size_mm, samples=samples,
+                base_seed=base_seed,
+                disorder=DisorderSpec(sigma_q, sigma_r))
+            jobs = [
+                EnsembleChunkJob(
+                    layout_doc=layout_doc, sigma_qubit_ghz=sigma_q,
+                    sigma_resonator_ghz=sigma_r, base_seed=base_seed,
+                    start=r.start, count=len(r))
+                for r in split_ensemble(samples, chunk_size)
+            ]
+            with profiling.phase("ensemble/score"):
+                chunks = runner.map(run_ensemble_chunk, jobs,
+                                    namespace="ensembles")
+            scores = _scores_from_chunks(chunks)
+            point: Dict[str, object] = {
+                "sigma_qubit_ghz": sigma_q,
+                "sigma_resonator_ghz": sigma_r,
+                "spec_digest": spec.digest,
+                "chunks": len(jobs),
+            }
+            point.update(summarize_scores(scores, max_ph_percent,
+                                          bootstrap=bootstrap,
+                                          seed=base_seed))
+
+            passed = scores.passed(max_ph_percent)
+            failing = np.flatnonzero(~passed)
+            attempted = [int(i) for i in failing[:max(0, repair_samples)]]
+            repaired_pass = 0
+            repair_rows: List[Dict[str, object]] = []
+            with profiling.phase("ensemble/repair"):
+                if attempted and design_problem is None:
+                    design_problem = build_problem(netlist, effective)
+                for idx in attempted:
+                    row = sample_batch(netlist, spec.disorder, base_seed,
+                                       start=idx, count=1)
+                    noisy = netlist_with_frequencies(
+                        netlist, row.qubit_freqs[0], row.resonator_freqs[0])
+                    result = repair_sample(design_problem, noisy,
+                                           layout.positions,
+                                           effective, strategy=strategy)
+                    ph_after = hotspot_report(result.layout).ph_percent
+                    ok = ph_after <= max_ph_percent + 1e-12
+                    repaired_pass += int(ok)
+                    repair_rows.append({
+                        "sample": idx,
+                        "sample_digest": spec.sample_digest(idx),
+                        "ph_percent_before": float(scores.ph_percent[idx]),
+                        "ph_percent_after": float(ph_after),
+                        "legal": bool(result.legal),
+                        "moved_mm": result.moved_mm,
+                        "passed": bool(ok),
+                    })
+            kept = int(passed.sum())
+            point["repair"] = {
+                "attempted": len(attempted),
+                "passed": repaired_pass,
+                "legal_all": all(r["legal"] for r in repair_rows),
+                "samples": repair_rows,
+            }
+            point["yield_after_repair"] = (kept + repaired_pass) / samples
+            points.append(point)
+            if on_point is not None:
+                on_point(k, point)
+
+    payload: Dict[str, object] = {
+        "kind": "ensemble",
+        "topology": topology,
+        "strategy": strategy,
+        "segment_size_mm": segment_size_mm,
+        "samples": samples,
+        "base_seed": base_seed,
+        "resonator_sigma_scale": resonator_sigma_scale,
+        "max_ph_percent": max_ph_percent,
+        "chunk_size": chunk_size,
+        "warm_start": place_payload.get("warm_start"),
+        "points": points,
+        "phases": prof.as_dict(),
+    }
+    profiling.accumulate(payload["phases"])
+    return payload

@@ -1,0 +1,122 @@
+"""Content-addressed specifications for disorder ensembles.
+
+A Monte-Carlo ensemble is fully described by two small frozen
+dataclasses of primitives:
+
+* :class:`DisorderSpec` — the physics of one disorder model: Gaussian
+  scatter amplitudes per component family plus the clip bands.
+* :class:`EnsembleSpec` — the experiment: which topology/strategy/
+  geometry the frozen layout comes from, how many samples, and the base
+  seed of the ``SeedSequence`` tree.
+
+Both canonicalise to JSON documents and digest with sha256, exactly
+like every other cache key in the tree, so ensembles are
+content-addressed end to end: the ensemble digest keys the artifact,
+and each sample's digest (:meth:`EnsembleSpec.sample_digest`) keys one
+realisation.  Sample ``i`` of an ensemble is *defined* as the draw from
+``SeedSequence(base_seed).spawn(samples)[i]`` — equivalently
+``SeedSequence(entropy=base_seed, spawn_key=(i,))`` — which makes the
+realisation independent of how the ensemble is chunked across workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .. import constants
+from ..io.serialization import canonical_json
+
+
+def _digest(document: Dict) -> str:
+    return hashlib.sha256(canonical_json(document).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class DisorderSpec:
+    """Gaussian fab-scatter model for one ensemble.
+
+    Attributes:
+        sigma_qubit_ghz: Scatter amplitude of qubit frequencies.
+        sigma_resonator_ghz: Scatter amplitude of resonator frequencies.
+        qubit_band: Clip band for the realised qubit frequencies.
+        resonator_band: Clip band for the realised resonator frequencies.
+    """
+
+    sigma_qubit_ghz: float
+    sigma_resonator_ghz: float
+    qubit_band: Tuple[float, float] = constants.QUBIT_FREQ_BAND_GHZ
+    resonator_band: Tuple[float, float] = constants.RESONATOR_FREQ_BAND_GHZ
+
+    def __post_init__(self) -> None:
+        if self.sigma_qubit_ghz < 0 or self.sigma_resonator_ghz < 0:
+            raise ValueError("scatter amplitudes must be non-negative")
+        for lo, hi in (self.qubit_band, self.resonator_band):
+            if not lo < hi:
+                raise ValueError(f"invalid frequency band ({lo}, {hi})")
+
+    def document(self) -> Dict:
+        """Canonical JSON-able form (the digest payload)."""
+        return {
+            "sigma_qubit_ghz": float(self.sigma_qubit_ghz),
+            "sigma_resonator_ghz": float(self.sigma_resonator_ghz),
+            "qubit_band": [float(b) for b in self.qubit_band],
+            "resonator_band": [float(b) for b in self.resonator_band],
+        }
+
+    @property
+    def digest(self) -> str:
+        return _digest(self.document())
+
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    """One Monte-Carlo disorder experiment against one frozen layout.
+
+    Attributes:
+        topology: Registered topology name the layout was placed on.
+        strategy: Placement strategy whose layout is frozen and
+            re-scored.
+        segment_size_mm: Resonator segment size of the layout geometry.
+        samples: Number of disorder realisations.
+        base_seed: Root entropy of the per-sample ``SeedSequence`` tree.
+        disorder: The scatter model.
+    """
+
+    topology: str
+    strategy: str
+    segment_size_mm: float
+    samples: int
+    base_seed: int
+    disorder: DisorderSpec = field(
+        default_factory=lambda: DisorderSpec(0.02, 0.01))
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError("samples must be positive")
+        if self.segment_size_mm <= 0:
+            raise ValueError("segment_size_mm must be positive")
+
+    def document(self) -> Dict:
+        """Canonical JSON-able form (the digest payload)."""
+        return {
+            "kind": "disorder-ensemble",
+            "topology": self.topology,
+            "strategy": self.strategy,
+            "segment_size_mm": float(self.segment_size_mm),
+            "samples": int(self.samples),
+            "base_seed": int(self.base_seed),
+            "disorder": self.disorder.document(),
+        }
+
+    @property
+    def digest(self) -> str:
+        return _digest(self.document())
+
+    def sample_digest(self, index: int) -> str:
+        """Content digest of realisation ``index`` of this ensemble."""
+        if not 0 <= index < self.samples:
+            raise IndexError(f"sample index {index} outside "
+                             f"[0, {self.samples})")
+        return _digest({"ensemble": self.digest, "index": int(index)})

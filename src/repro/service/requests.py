@@ -106,6 +106,32 @@ class MapRequest:
     router: str = "basic"
     optimization_level: int = 3
 
+    def digest_document(self) -> Dict[str, Any]:
+        """Digest payload keyed on the circuit *content*, not its name.
+
+        Differently-named aliases of one workload (``ghz-5`` vs a
+        custom alias compiling to the same gates) coalesce at queue
+        submission — layer 1 — instead of only at the runner cache.
+        Falls back to the raw field document when the benchmark cannot
+        be built (parse_request validated the name, so this is purely
+        defensive).
+        """
+        document: Dict[str, Any] = {
+            "topology": self.topology,
+            "num_mappings": self.num_mappings,
+            "base_seed": self.base_seed,
+            "router": self.router,
+            "optimization_level": self.optimization_level,
+        }
+        try:
+            from ..analysis.runner import benchmark_circuit_digest
+
+            document["circuit_digest"] = benchmark_circuit_digest(
+                self.benchmark)
+        except Exception:
+            document["benchmark"] = self.benchmark
+        return document
+
 
 @dataclass(frozen=True)
 class EvaluateRequest:
@@ -152,19 +178,50 @@ class RefineRequest:
     seed: int = 0
 
 
+@dataclass(frozen=True)
+class EnsembleRequest:
+    """Monte-Carlo disorder ensemble against one frozen placement.
+
+    For each sigma in ``sigmas``, draws ``samples`` frequency-disorder
+    realisations (qubit scatter ``sigma``, resonator scatter ``sigma *
+    resonator_sigma_scale``), re-scores the frozen layout across the
+    batch, and incrementally repairs up to ``repair_samples`` failing
+    realisations.  The artifact is the yield/fidelity-vs-sigma curve
+    with bootstrap intervals; progress streams one point per sigma via
+    ``GET /jobs/<id>`` like a refine.  Samples fan through the runner
+    as chunk jobs (``chunk_size`` execution option).
+    """
+
+    kind: ClassVar[str] = "ensemble"
+
+    topology: str
+    sigmas: Tuple[float, ...] = (0.01, 0.02, 0.05)
+    samples: int = 64
+    resonator_sigma_scale: float = 0.5
+    base_seed: int = 0
+    strategy: str = "qplacer"
+    segment_size_mm: float = constants.DEFAULT_SEGMENT_SIZE_MM
+    seed: int = 0
+    config: Optional[PlacerConfig] = None
+    repair_samples: int = 0
+    max_ph_percent: float = 0.0
+    warm_start: bool = False
+    bootstrap: int = 200
+
+
 Request = Union[PlaceRequest, FidelityRequest, MapRequest, EvaluateRequest,
-                RefineRequest]
+                RefineRequest, EnsembleRequest]
 
 #: Request kind -> dataclass, the POST /jobs dispatch table.
 REQUEST_TYPES: Dict[str, Type[Request]] = {
     cls.kind: cls
     for cls in (PlaceRequest, FidelityRequest, MapRequest, EvaluateRequest,
-                RefineRequest)
+                RefineRequest, EnsembleRequest)
 }
 
 #: Fields normalised from JSON lists to tuples.
 _TUPLE_FIELDS = frozenset({"strategies", "workloads", "topologies",
-                           "benchmarks"})
+                           "benchmarks", "sigmas"})
 
 
 def _check_topology(name: Any) -> str:
@@ -340,6 +397,35 @@ def parse_request(kind: str, payload: Mapping[str, Any]) -> Request:
             raise RequestError("rounds must be in [1, 10000]")
         if request.moves_per_round < 1 or request.moves_per_round > 100_000:
             raise RequestError("moves_per_round must be in [1, 100000]")
+    if isinstance(request, EnsembleRequest):
+        from dataclasses import replace as _replace
+
+        try:
+            sigmas = tuple(float(s) for s in request.sigmas)
+        except (TypeError, ValueError):
+            raise RequestError("sigmas must be a list of numbers "
+                               "(or a comma-separated string)") from None
+        if not sigmas:
+            raise RequestError("ensemble requests need at least one sigma")
+        if any(s < 0.0 or s > 1.0 for s in sigmas):
+            raise RequestError("each sigma must be in [0, 1] GHz")
+        request = _replace(request, sigmas=sigmas)
+        if request.strategy not in _KNOWN_STRATEGIES:
+            raise RequestError(
+                f"strategy must be one of {sorted(_KNOWN_STRATEGIES)}, "
+                f"got {request.strategy!r}")
+        if not 1 <= request.samples <= 100_000:
+            raise RequestError("samples must be in [1, 100000]")
+        if not 0.0 <= request.resonator_sigma_scale <= 10.0:
+            raise RequestError("resonator_sigma_scale must be in [0, 10]")
+        if request.repair_samples < 0:
+            raise RequestError("repair_samples must be non-negative")
+        if request.repair_samples > request.samples:
+            raise RequestError("repair_samples cannot exceed samples")
+        if request.max_ph_percent < 0.0:
+            raise RequestError("max_ph_percent must be non-negative")
+        if not 0 <= request.bootstrap <= 10_000:
+            raise RequestError("bootstrap must be in [0, 10000]")
     return request
 
 
@@ -353,6 +439,7 @@ _KNOWN_OPTIONS: Dict[str, Tuple[str, ...]] = {
     "map": ("chunk_size",),
     "evaluate": (),
     "refine": (),
+    "ensemble": ("chunk_size",),
 }
 
 

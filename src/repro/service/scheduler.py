@@ -28,8 +28,8 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..analysis.runner import ParallelRunner
 from .queue import JobCancelled, JobQueue, JobRecord
-from .requests import (EvaluateRequest, FidelityRequest, MapRequest,
-                       PlaceRequest, RefineRequest, Request)
+from .requests import (EnsembleRequest, EvaluateRequest, FidelityRequest,
+                       MapRequest, PlaceRequest, RefineRequest, Request)
 from .store import ArtifactStore
 
 
@@ -200,6 +200,59 @@ def execute_refine(request: RefineRequest, ctx: ExecutionContext,
     return dict(state)
 
 
+def execute_ensemble(request: EnsembleRequest, ctx: ExecutionContext,
+                     job: JobRecord) -> Dict[str, Any]:
+    """Monte-Carlo disorder ensemble with streamed per-sigma progress.
+
+    After each completed sigma point the partial curve is published
+    under the job's digest and ``JobRecord.progress`` advances, so
+    clients polling ``GET /jobs/<id>`` watch the yield curve grow point
+    by point (the refine pattern).  Cancellation is honoured at point
+    boundaries.
+    """
+    from ..ensembles import run_ensemble_request
+
+    started = time.perf_counter()
+    state: Dict[str, Any] = {
+        "kind": "ensemble",
+        "topology": request.topology,
+        "strategy": request.strategy,
+        "samples": request.samples,
+        "points": [],
+    }
+
+    def on_point(index: int, point: Dict[str, Any]) -> None:
+        if job.cancel_requested:
+            raise JobCancelled(job.job_id)
+        state["points"] = list(state["points"]) + [point]
+        ctx.store.put(job.digest, dict(state), metadata={
+            "kind": job.kind,
+            "request": _canonical_request(request),
+            "compute_s": time.perf_counter() - started,
+        })
+        if ctx.queue is not None:
+            ctx.queue.update_progress(job.job_id, {
+                "published": index + 1,
+                "total": len(request.sigmas),
+                "sigma_qubit_ghz": point["sigma_qubit_ghz"],
+                "yield": point["yield"],
+                "yield_after_repair": point["yield_after_repair"],
+            })
+
+    payload = run_ensemble_request(
+        topology=request.topology, sigmas=request.sigmas,
+        samples=request.samples,
+        resonator_sigma_scale=request.resonator_sigma_scale,
+        base_seed=request.base_seed, strategy=request.strategy,
+        segment_size_mm=request.segment_size_mm, seed=request.seed,
+        config=request.config, repair_samples=request.repair_samples,
+        max_ph_percent=request.max_ph_percent,
+        warm_start=request.warm_start, bootstrap=request.bootstrap,
+        runner=ctx.runner, chunk_size=job.options.get("chunk_size"),
+        store=ctx.store, on_point=on_point)
+    return payload
+
+
 def _source_config(metadata: Dict[str, Any]):
     """Rebuild the source artifact's PlacerConfig from its metadata."""
     from ..core.config import PlacerConfig
@@ -233,6 +286,7 @@ EXECUTORS: Dict[str, Callable[[Request, ExecutionContext, JobRecord],
     "map": execute_map,
     "evaluate": execute_evaluate,
     "refine": execute_refine,
+    "ensemble": execute_ensemble,
 }
 
 

@@ -53,7 +53,16 @@ def request_digest(kind: str, request: Any) -> str:
     Covers the request kind, the canonicalised request fields, and the
     live :data:`~repro.analysis.runner.CACHE_SCHEMA_VERSION` (read at
     call time, so a version bump immediately re-keys every request).
+
+    A request exposing ``digest_document()`` is digested by that
+    document instead of its raw fields — how :class:`~repro.service.
+    requests.MapRequest` normalises its benchmark *name* to the
+    circuit's content digest, so aliased workload names coalesce onto
+    one queue job and one artifact at submission time (layer 1), not
+    just at the runner cache (layer 3).
     """
+    if hasattr(request, "digest_document"):
+        request = request.digest_document()
     payload = canonical_json(
         {"schema": _runner.CACHE_SCHEMA_VERSION, "kind": kind,
          "request": request})

@@ -83,6 +83,37 @@ class TestRefinement:
         assert stats2.improvement == pytest.approx(0.0, abs=0.02)
 
 
+class TestRestrictedSweep:
+    def test_full_index_set_matches_unrestricted(self, grid9_placed,
+                                                 fast_config):
+        problem = grid9_placed.problem
+        positions = grid9_placed.layout.positions
+        everyone = np.arange(problem.num_instances)
+        restricted, stats_r = refine_placement(problem, positions,
+                                               fast_config, only=everyone)
+        full, stats_f = refine_placement(problem, positions, fast_config)
+        np.testing.assert_array_equal(restricted, full)
+        assert stats_r.swaps_applied == stats_f.swaps_applied
+
+    def test_empty_set_is_a_noop_sweep(self, grid9_placed, fast_config):
+        problem = grid9_placed.problem
+        positions = grid9_placed.layout.positions
+        out, stats = refine_placement(problem, positions, fast_config,
+                                      only=np.array([], dtype=np.int64))
+        np.testing.assert_array_equal(out, positions)
+        assert stats.swaps_applied == 0
+        assert stats.candidates_scored == 0
+
+    def test_subset_never_increases_wirelength(self, grid9_placed,
+                                               fast_config):
+        problem = grid9_placed.problem
+        positions = grid9_placed.layout.positions
+        subset = np.arange(problem.num_instances)[::2]
+        _, stats = refine_placement(problem, positions, fast_config,
+                                    only=subset)
+        assert stats.hpwl_after <= stats.hpwl_before + 1e-9
+
+
 class TestConfigIntegration:
     def test_placer_flag_runs_refinement(self, grid9_netlist):
         cfg = PlacerConfig(max_iterations=100, min_iterations=20,

@@ -174,3 +174,88 @@ class TestDisorderProperties:
                 deltas.append(np.abs(real - targets).mean())
             means.append(float(np.mean(deltas)))
         assert means[0] < means[1] < means[2]
+
+
+class TestStreamIndependence:
+    """The RNG-decoupling fix: families draw from independent streams."""
+
+    def test_qubit_sigma_does_not_move_resonators(self, netlist):
+        a = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.01,
+                                     sigma_resonator_ghz=0.02, seed=3)
+        b = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.09,
+                                     sigma_resonator_ghz=0.02, seed=3)
+        assert [r.frequency for r in a.resonators] \
+            == [r.frequency for r in b.resonators]
+        assert [q.frequency for q in a.qubits] \
+            != [q.frequency for q in b.qubits]
+
+    def test_legacy_stream_reproduces_the_shared_rng(self, netlist):
+        """legacy_stream=True must replay the historical single-stream
+        draw order (qubits first, then resonators, one rng)."""
+        noisy = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.03,
+                                         sigma_resonator_ghz=0.02, seed=7,
+                                         legacy_stream=True)
+        rng = np.random.default_rng(7)
+        qubit_ref = scatter_frequencies(
+            np.array([q.frequency for q in netlist.qubits]), 0.03,
+            constants.QUBIT_FREQ_BAND_GHZ, rng)
+        resonator_ref = scatter_frequencies(
+            np.array([r.frequency for r in netlist.resonators]), 0.02,
+            constants.RESONATOR_FREQ_BAND_GHZ, rng)
+        assert [q.frequency for q in noisy.qubits] == qubit_ref.tolist()
+        assert [r.frequency for r in noisy.resonators] \
+            == resonator_ref.tolist()
+
+    def test_default_differs_from_legacy(self, netlist):
+        new = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.03,
+                                       seed=7)
+        old = apply_frequency_disorder(netlist, sigma_qubit_ghz=0.03,
+                                       seed=7, legacy_stream=True)
+        assert [q.frequency for q in new.qubits] \
+            != [q.frequency for q in old.qubits]
+
+
+class TestSampleDisorderFrequencies:
+    def test_seed_sequence_determinism(self, netlist):
+        from repro.devices import sample_disorder_frequencies
+        qt = np.array([q.frequency for q in netlist.qubits])
+        rt = np.array([r.frequency for r in netlist.resonators])
+        a = sample_disorder_frequencies(qt, rt, 0.03, 0.02,
+                                        np.random.SeedSequence(5))
+        b = sample_disorder_frequencies(qt, rt, 0.03, 0.02,
+                                        np.random.SeedSequence(5))
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+
+class TestNetlistWithFrequencies:
+    def test_length_mismatch_rejected(self, netlist):
+        from repro.devices import netlist_with_frequencies
+        good_q = np.array([q.frequency for q in netlist.qubits])
+        good_r = np.array([r.frequency for r in netlist.resonators])
+        with pytest.raises(ValueError):
+            netlist_with_frequencies(netlist, good_q[:-1], good_r)
+        with pytest.raises(ValueError):
+            netlist_with_frequencies(netlist, good_q, good_r[:-1])
+
+    def test_identity_frequencies_round_trip(self, netlist):
+        from repro.devices import netlist_with_frequencies
+        out = netlist_with_frequencies(
+            netlist, np.array([q.frequency for q in netlist.qubits]),
+            np.array([r.frequency for r in netlist.resonators]))
+        assert [q.frequency for q in out.qubits] \
+            == [q.frequency for q in netlist.qubits]
+        assert out.topology is netlist.topology
+
+
+class TestStrategyTag:
+    def test_suffix_applied_once(self):
+        from repro.devices.disorder import disorder_strategy_tag
+        assert disorder_strategy_tag("qplacer") == "qplacer+disorder"
+        assert disorder_strategy_tag("qplacer+disorder") \
+            == "qplacer+disorder"
+
+    def test_repeated_disordered_layouts_do_not_stack(self, grid9_placed):
+        once = disordered_layout(grid9_placed.layout, seed=1)
+        twice = disordered_layout(once, seed=2)
+        assert twice.strategy == "qplacer+disorder"

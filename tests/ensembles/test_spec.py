@@ -1,0 +1,75 @@
+"""Ensemble/disorder spec validation and content-addressed digests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ensembles import DisorderSpec, EnsembleSpec
+
+
+class TestDisorderSpec:
+    def test_defaults_bind_the_device_bands(self):
+        from repro import constants
+        spec = DisorderSpec(0.02, 0.01)
+        assert spec.qubit_band == constants.QUBIT_FREQ_BAND_GHZ
+        assert spec.resonator_band == constants.RESONATOR_FREQ_BAND_GHZ
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sigma_qubit_ghz": -0.01, "sigma_resonator_ghz": 0.0},
+        {"sigma_qubit_ghz": 0.0, "sigma_resonator_ghz": -0.01},
+        {"sigma_qubit_ghz": 0.0, "sigma_resonator_ghz": 0.0,
+         "qubit_band": (5.2, 4.8)},
+        {"sigma_qubit_ghz": 0.0, "sigma_resonator_ghz": 0.0,
+         "resonator_band": (6.0, 6.0)},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DisorderSpec(**kwargs)
+
+    def test_digest_is_content_addressed(self):
+        a = DisorderSpec(0.02, 0.01)
+        b = DisorderSpec(0.02, 0.01)
+        c = DisorderSpec(0.05, 0.01)
+        assert a.digest == b.digest
+        assert a.digest != c.digest
+        assert len(a.digest) == 64
+
+
+class TestEnsembleSpec:
+    def _spec(self, **over):
+        fields = dict(topology="grid-9", strategy="qplacer",
+                      segment_size_mm=0.3, samples=8, base_seed=0)
+        fields.update(over)
+        return EnsembleSpec(**fields)
+
+    @pytest.mark.parametrize("over", [
+        {"samples": 0}, {"segment_size_mm": 0.0},
+    ])
+    def test_invalid_rejected(self, over):
+        with pytest.raises(ValueError):
+            self._spec(**over)
+
+    def test_document_kind(self):
+        assert self._spec().document()["kind"] == "disorder-ensemble"
+
+    def test_digest_tracks_every_field(self):
+        base = self._spec()
+        assert base.digest == self._spec().digest
+        for over in ({"topology": "grid-16"}, {"strategy": "classic"},
+                     {"segment_size_mm": 0.4}, {"samples": 16},
+                     {"base_seed": 1},
+                     {"disorder": DisorderSpec(0.05, 0.01)}):
+            assert self._spec(**over).digest != base.digest
+
+    def test_sample_digest_distinct_and_deterministic(self):
+        spec = self._spec()
+        digests = [spec.sample_digest(i) for i in range(spec.samples)]
+        assert len(set(digests)) == spec.samples
+        assert spec.sample_digest(3) == self._spec().sample_digest(3)
+
+    def test_sample_digest_range_checked(self):
+        spec = self._spec()
+        with pytest.raises(IndexError):
+            spec.sample_digest(-1)
+        with pytest.raises(IndexError):
+            spec.sample_digest(spec.samples)
